@@ -1,0 +1,113 @@
+"""Appendix experiment — time-driven CLOCK under bursty arrival rates.
+
+Paper §III-B: "In practice, the arriving speed of items could vary a lot.
+To adapt to the arriving speed, we can dynamically adjust the scanning
+speed by modifying the step size of the pointer p."  This bench drives
+the same bursty, timestamped workload through (a) the time-driven CLOCK
+(`insert_timed`) and (b) the naive count-driven CLOCK that assumes a
+constant arrival rate, and compares persistency accuracy.
+
+Shape: the time-driven variant matches the exact persistencies; the
+count-driven variant on rate-varying input drifts (its sweep no longer
+aligns with real periods mid-period, although end_period resync keeps it
+close — the gap shows in ARE).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit, once
+from repro.core.config import LTCConfig
+from repro.core.ltc import LTC
+from repro.metrics.accuracy import average_relative_error, precision
+from repro.streams.ground_truth import GroundTruth
+from repro.streams.io import TimeBinnedStream
+
+K = 100
+
+
+def build_timed_workload(seed: int = 41):
+    """Timestamped events whose rate varies 20× between periods.
+
+    A fixed core of long-lived items appears (with probability) every
+    period — those are the true persistent items — on top of one-shot
+    noise whose volume swings wildly between periods.
+    """
+    rng = random.Random(seed)
+    # Core items have graded activity levels so the exact persistency
+    # ranking has real separation (uniform activity would make the top-k
+    # boundary a pure tie-break, which measures nothing).
+    core = [
+        (rng.getrandbits(32), 0.25 + 0.75 * (1.0 - rank / 300))
+        for rank in range(300)
+    ]
+    records = []
+    num_periods = 40
+    for period in range(num_periods):
+        rate = 1_500 if period % 4 == 0 else 75  # bursty periods
+        for item, activity in core:
+            if rng.random() < activity:  # core item active this period
+                t = period + rng.random()
+                records.append((t, item))
+        for _ in range(rate):
+            t = period + rng.random()
+            records.append((t, rng.getrandbits(32)))
+    records.sort()
+    return TimeBinnedStream.from_records(records, num_periods), records
+
+
+def run_experiment():
+    stream, records = build_timed_workload()
+    truth = GroundTruth(stream)
+    exact = truth.top_k_items(K, 0.0, 1.0)
+
+    def config():
+        return LTCConfig(
+            num_buckets=400,
+            bucket_width=8,
+            alpha=0.0,
+            beta=1.0,
+            items_per_period=stream.period_length,
+        )
+
+    # (a) time-driven clock.
+    timed = LTC(config())
+    boundary = 1.0
+    next_boundary = boundary
+    for t, item in records:
+        while t >= next_boundary:
+            timed.end_period()
+            next_boundary += boundary
+        timed.insert_timed(item, timestamp=t, period_seconds=boundary)
+    timed.end_period()
+    timed.finalize()
+
+    # (b) count-driven clock fed the same time-binned periods.
+    counted = LTC(config())
+    stream.run(counted)
+
+    rows = []
+    for name, ltc in (("time-driven", timed), ("count-driven", counted)):
+        prec = precision((r.item for r in ltc.top_k(K)), exact)
+        are = average_relative_error(
+            ltc.reported_pairs(K), lambda i: truth.significance(i, 0.0, 1.0)
+        )
+        rows.append((name, prec, are))
+    return rows
+
+
+def test_appx_timed_clock(benchmark):
+    rows = once(benchmark, run_experiment)
+    emit(
+        "appx_timed",
+        ["clock drive", "precision", "ARE"],
+        [(n, f"{p:.3f}", f"{a:.4g}") for n, p, a in rows],
+        title="Appendix: time-driven vs count-driven CLOCK on a bursty trace",
+    )
+    timed = rows[0]
+    counted = rows[1]
+    # The time-driven clock handles rate variation at least as well.
+    assert timed[1] >= counted[1] - 0.05
+    assert timed[2] <= counted[2] + 0.02
+    assert timed[1] >= 0.7

@@ -1,0 +1,57 @@
+"""Appendix experiment — varying the bucket width d.
+
+The paper compares d values in the technical-report appendix and settles
+on d = 8 as the default (§V-C).  Shape: accuracy is poor for very small d
+(a d=1 bucket cannot protect incumbents), improves through the mid-range,
+and flattens — d = 8 sits on the plateau.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, once
+from repro.core.config import LTCConfig
+from repro.core.ltc import LTC
+from repro.metrics.accuracy import average_relative_error, precision
+from repro.metrics.memory import MemoryBudget, kb
+
+K = 100
+MEM_KB = 8
+
+
+def sweep(stream, truth):
+    exact = truth.top_k_items(K, 1.0, 1.0)
+    rows = []
+    for d in (1, 2, 4, 8, 16):
+        budget = MemoryBudget(kb(MEM_KB))
+        ltc = LTC(
+            LTCConfig(
+                num_buckets=budget.ltc_buckets(d),
+                bucket_width=d,
+                alpha=1.0,
+                beta=1.0,
+                items_per_period=stream.period_length,
+            )
+        )
+        stream.run(ltc)
+        prec = precision((r.item for r in ltc.top_k(K)), exact)
+        are = average_relative_error(
+            ltc.reported_pairs(K), lambda i: truth.significance(i, 1.0, 1.0)
+        )
+        rows.append((d, prec, are))
+    return rows
+
+
+def test_appx_vary_d(benchmark, bench_network):
+    stream, truth = bench_network
+    rows = once(benchmark, sweep, stream, truth)
+    emit(
+        "appx_vary_d",
+        ["d", "precision", "ARE"],
+        [(d, f"{p:.3f}", f"{a:.4g}") for d, p, a in rows],
+        title=f"Appendix: LTC precision/ARE vs bucket width d ({MEM_KB}KB, network)",
+    )
+    by_d = {d: p for d, p, _ in rows}
+    # The paper's default d=8 is on the plateau: within noise of the best.
+    assert by_d[8] >= max(by_d.values()) - 0.03
+    # Very narrow buckets are clearly worse.
+    assert by_d[8] > by_d[1]

@@ -1,0 +1,82 @@
+"""Appendix experiment — synthetic Zipf datasets of varying skew.
+
+The paper's tech-report appendix repeats the comparison on synthetic
+streams.  Shape: LTC's advantage holds across skews; everyone improves as
+skew grows (fewer effective heavy items); LTC's lead is largest at low
+skew, where the top-k boundary is most crowded.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, once
+from repro.experiments.configs import default_algorithms_frequent
+from repro.experiments.runner import run_and_evaluate
+from repro.metrics.memory import MemoryBudget, kb
+from repro.streams.ground_truth import GroundTruth
+from repro.streams.synthetic import zipf_stream
+
+K = 100
+MEM_KB = 3
+
+
+def sweep():
+    rows = []
+    for skew in (0.6, 0.9, 1.2, 1.5):
+        stream = zipf_stream(
+            num_events=30_000,
+            num_distinct=8_000,
+            skew=skew,
+            num_periods=30,
+            seed=31,
+        )
+        truth = GroundTruth(stream)
+        budget = MemoryBudget(kb(MEM_KB))
+        results = run_and_evaluate(
+            default_algorithms_frequent(budget, stream, K),
+            stream,
+            K,
+            1.0,
+            0.0,
+            truth,
+        )
+        rows.append((skew, results))
+    return rows
+
+
+def test_appx_zipf_skew(benchmark):
+    rows = once(benchmark, sweep)
+    names = [r.name for r in rows[0][1]]
+    emit(
+        "appx_zipf",
+        ["skew"] + names,
+        [[s] + [f"{r.precision:.3f}" for r in results] for s, results in rows],
+        title=f"Appendix: precision vs Zipf skew ({MEM_KB}KB, k={K})",
+    )
+    emit(
+        "appx_zipf",
+        ["skew"] + names,
+        [[s] + [f"{r.are:.3g}" for r in results] for s, results in rows],
+        title=f"Appendix: ARE vs Zipf skew ({MEM_KB}KB, k={K})",
+    )
+    for skew, results in rows:
+        by_name = {r.name: r for r in results}
+        ltc = by_name.pop("LTC")
+        # At very high skew the counter-based algorithms saturate too, so
+        # near-ties are allowed; LTC stays in the lead class everywhere.
+        assert all(
+            ltc.precision >= r.precision - 0.05 for r in by_name.values()
+        ), f"skew={skew}"
+        assert ltc.are <= 10 * min(r.are for r in by_name.values()) + 1e-2, (
+            f"skew={skew}"
+        )
+    # The hardest case (lowest skew, most crowded top-k boundary) shows
+    # strict dominance — the regime the paper's optimizations target.
+    low_skew = {r.name: r for r in rows[0][1]}
+    ltc_low = low_skew.pop("LTC")
+    assert all(ltc_low.precision > r.precision for r in low_skew.values())
+    assert all(ltc_low.are < r.are for r in low_skew.values())
+    # LTC itself improves with skew.
+    ltc_precisions = [
+        next(r.precision for r in results if r.name == "LTC") for _, results in rows
+    ]
+    assert ltc_precisions[-1] >= ltc_precisions[0]

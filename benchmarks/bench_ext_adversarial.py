@@ -1,0 +1,104 @@
+"""Extension benchmark — robustness under adversarial workloads.
+
+Not a paper figure: stress-tests every algorithm on the attack patterns
+of :mod:`repro.streams.adversarial`.
+
+Shapes:
+
+* **distinct flood** (significance mode): LTC keeps the core at ~100%
+  precision while the sketch-based combination collapses — decrement-
+  then-expel absorbs one-hit wonders, sketch counters absorb them as
+  permanent noise;
+* **grinder pressure curve**: LTC's precision degrades monotonically with
+  the attacker's budget, and the attack only ever *suppresses* — the
+  no-overestimation property holds at every pressure level.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, once
+from repro.combined.two_structure import TwoStructureSignificant
+from repro.core.config import LTCConfig
+from repro.core.ltc import LTC
+from repro.metrics.accuracy import precision
+from repro.metrics.memory import MemoryBudget, kb
+from repro.sketches.cu import CUSketch
+from repro.streams.adversarial import distinct_flood, grinder
+from repro.streams.ground_truth import GroundTruth
+
+ALPHA, BETA = 1.0, 50.0
+K = 30
+
+
+def flood_experiment():
+    stream = distinct_flood(num_periods=20, core_items=30, flood_per_period=600)
+    truth = GroundTruth(stream)
+    exact = truth.top_k_items(K, ALPHA, BETA)
+    budget = MemoryBudget(kb(8))
+
+    ltc = LTC.from_memory(
+        budget, items_per_period=stream.period_length, alpha=ALPHA, beta=BETA
+    )
+    stream.run(ltc)
+    combined = TwoStructureSignificant.from_memory(
+        CUSketch, budget, K, ALPHA, BETA
+    )
+    stream.run(combined)
+    return [
+        ("LTC", precision((r.item for r in ltc.top_k(K)), exact)),
+        ("CU+CU", precision((r.item for r in combined.top_k(K)), exact)),
+    ]
+
+
+def grinder_experiment():
+    rows = []
+    for burst in (2, 10, 30, 60):
+        stream = grinder(num_periods=10, targets=15, grind_burst=burst)
+        truth = GroundTruth(stream)
+        exact = truth.top_k_items(15, 1.0, 1.0)
+        ltc = LTC(
+            LTCConfig(
+                num_buckets=16,
+                bucket_width=8,
+                alpha=1.0,
+                beta=1.0,
+                items_per_period=stream.period_length,
+            )
+        )
+        stream.run(ltc)
+        prec = precision((r.item for r in ltc.top_k(15)), exact)
+        overestimates = sum(
+            1
+            for r in ltc.top_k(50)
+            if r.significance > truth.significance(r.item, 1.0, 1.0)
+        )
+        rows.append((burst, prec, overestimates))
+    return rows
+
+
+def test_adversarial_flood(benchmark):
+    rows = once(benchmark, flood_experiment)
+    emit(
+        "ext_adversarial",
+        ["algorithm", "precision under flood"],
+        [(n, f"{p:.3f}") for n, p in rows],
+        title=f"Adversarial flood, significance mode (k={K}, 8KB)",
+    )
+    by_name = dict(rows)
+    assert by_name["LTC"] >= 0.95
+    assert by_name["LTC"] > by_name["CU+CU"]
+
+
+def test_adversarial_grinder_curve(benchmark):
+    rows = once(benchmark, grinder_experiment)
+    emit(
+        "ext_adversarial",
+        ["grind burst", "LTC precision", "overestimated reports"],
+        [(b, f"{p:.3f}", o) for b, p, o in rows],
+        title="Grinder pressure curve (15 targets, 16x8 cells)",
+    )
+    precisions = [p for _, p, _ in rows]
+    assert precisions[0] >= 0.9
+    assert precisions[-1] <= precisions[0]
+    # The attack can suppress but never forge mass.
+    assert all(o == 0 for _, _, o in rows)

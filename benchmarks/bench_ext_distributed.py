@@ -1,0 +1,99 @@
+"""Extension benchmark — distributed persistent-flow monitoring.
+
+Not a paper figure: evaluates the repository's distributed subsystem
+(DESIGN.md §6) on the setting that motivates use case 3 — identify the
+datacenter-wide top persistent flows from per-site summaries only.
+
+Compared strategies (same logical stream, 8 sites):
+
+* merged LTCs on an item-sharded partition (ingress routing);
+* merged LTCs on a random per-packet partition (ECMP spraying);
+* coordinated sampling at rates 0.25 / 1.0 (exact but recall-capped /
+  exact but expensive).
+
+Shape: merged LTC dominates the accuracy-per-byte trade-off on the
+sharded partition; coordinated sampling's recall tracks its rate; random
+spraying degrades merged-LTC persistency (the over-count the merge
+clips) yet it stays usable.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, once
+from repro.core.config import LTCConfig
+from repro.distributed.coordinator import (
+    MergingCoordinator,
+    SamplingCoordinator,
+)
+from repro.distributed.partition import partition_random, partition_sharded
+from repro.metrics.accuracy import precision
+from repro.streams.ground_truth import GroundTruth
+from repro.streams.synthetic import zipf_stream
+
+K = 100
+NUM_SITES = 8
+
+
+def run_experiment():
+    stream = zipf_stream(
+        num_events=40_000, num_distinct=16_000, skew=1.1, num_periods=20, seed=12
+    )
+    truth = GroundTruth(stream)
+    exact = truth.top_k_items(K, 0.0, 1.0)
+
+    config = LTCConfig(
+        num_buckets=48,
+        bucket_width=8,
+        alpha=0.0,
+        beta=1.0,
+        items_per_period=1,  # per-site override
+    )
+
+    sharded = partition_sharded(stream, NUM_SITES)
+    sprayed = partition_random(stream, NUM_SITES)
+
+    rows = []
+    for label, report in [
+        ("merge/sharded", MergingCoordinator(config).run(sharded, K)),
+        ("merge/sprayed", MergingCoordinator(config).run(sprayed, K)),
+        (
+            "sample 0.25/sprayed",
+            SamplingCoordinator(sample_rate=0.25).run(sprayed, K),
+        ),
+        (
+            "sample 1.0/sprayed",
+            SamplingCoordinator(sample_rate=1.0).run(sprayed, K),
+        ),
+    ]:
+        rows.append(
+            (
+                label,
+                precision(report.items(), exact),
+                report.communication_bytes,
+            )
+        )
+    return rows
+
+
+def test_ext_distributed(benchmark):
+    rows = once(benchmark, run_experiment)
+    emit(
+        "ext_distributed",
+        ["strategy", "precision", "bytes shipped"],
+        [(label, f"{p:.3f}", comm) for label, p, comm in rows],
+        title=f"Extension: distributed persistent flows, {NUM_SITES} sites (k={K})",
+    )
+    by_label = {label: (p, comm) for label, p, comm in rows}
+    merge_sharded_p, merge_sharded_b = by_label["merge/sharded"]
+    sample_full_p, sample_full_b = by_label["sample 1.0/sprayed"]
+    sample_low_p, sample_low_b = by_label["sample 0.25/sprayed"]
+
+    assert merge_sharded_p >= 0.9
+    # Full-rate sampling is exact but ships far more bytes than the
+    # merged summaries.
+    assert sample_full_p >= 0.99
+    assert sample_full_b > 2 * merge_sharded_b
+    # Quarter-rate sampling's recall collapses toward its rate.
+    assert sample_low_p < 0.5
+    # Random spraying hurts merged persistency but keeps it usable.
+    assert by_label["merge/sprayed"][0] >= 0.5

@@ -1,0 +1,72 @@
+"""Extension benchmark — the extra persistent-items baselines.
+
+Not a paper figure: compares LTC against the two related-work adaptations
+this repository adds beyond the paper's line-up — the counter-based
+SS+BF (`SpaceSavingPersistent`) and coordinated sampling
+(`SmallSpacePersistent`, cf. refs [17]/[30]).
+
+Shape: LTC keeps the best precision/ARE; SS+BF is the strongest of the
+extras (it inherits Space-Saving's one-sided guarantee over the
+deduplicated stream); sampling's recall tracks its effective rate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, once
+from repro.experiments.configs import ltc_factory
+from repro.experiments.runner import run_and_evaluate
+from repro.metrics.memory import MemoryBudget, kb
+from repro.persistent.small_space import SmallSpacePersistent
+from repro.persistent.ss_persistent import SpaceSavingPersistent
+
+K = 100
+
+
+def line_up(budget, stream, truth):
+    per_period = stream.period_length
+    return {
+        "LTC": ltc_factory(budget, stream, alpha=0.0, beta=1.0),
+        "SS+BF": lambda: SpaceSavingPersistent.from_memory(
+            budget, expected_per_period=per_period
+        ),
+        "Sampling": lambda: SmallSpacePersistent.from_memory(
+            budget, expected_distinct=truth.num_distinct
+        ),
+    }
+
+
+def sweep(stream, truth):
+    rows = []
+    for mem in (4, 8, 16, 32):
+        budget = MemoryBudget(kb(mem))
+        results = run_and_evaluate(
+            line_up(budget, stream, truth), stream, K, 0.0, 1.0, truth
+        )
+        rows.append((mem, results))
+    return rows
+
+
+def test_ext_persistent_extras(benchmark, bench_caida):
+    stream, truth = bench_caida
+    rows = once(benchmark, sweep, stream, truth)
+    names = [r.name for r in rows[0][1]]
+    emit(
+        "ext_persistent_extras",
+        ["memory(KB)"] + [f"{n} prec" for n in names] + [f"{n} ARE" for n in names],
+        [
+            [mem]
+            + [f"{r.precision:.3f}" for r in results]
+            + [f"{r.are:.3g}" for r in results]
+            for mem, results in rows
+        ],
+        title=f"Extension: extra persistent baselines on caida (k={K})",
+    )
+    for mem, results in rows:
+        by_name = {r.name: r for r in results}
+        ltc = by_name.pop("LTC")
+        assert all(
+            ltc.precision >= r.precision - 0.05 for r in by_name.values()
+        ), f"{mem}KB"
+    # Sampling's recall is capped well below LTC at tight memory.
+    tight = {r.name: r for r in rows[0][1]}
+    assert tight["Sampling"].precision < tight["LTC"].precision

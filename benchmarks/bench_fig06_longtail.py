@@ -1,0 +1,75 @@
+"""Fig. 6 — the long-tail assumption behind Long-tail Replacement.
+
+(a) top-20 item frequencies inside three arbitrary hash buckets (w = 800)
+    on the Network dataset;
+(b) top-20 item frequencies of each full dataset.
+
+Shape to reproduce: frequencies fall steeply with rank — a pronounced
+long tail — both per bucket and per dataset.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, once
+from repro.hashing.family import HashFamily, splitmix64
+
+
+def bucket_top_frequencies(truth, w: int, buckets, top: int = 20):
+    """Per-bucket descending frequency lists (the paper's Fig. 6(a))."""
+    family = HashFamily(seed=0x17C)
+    per_bucket = {b: [] for b in buckets}
+    for item in truth.items():
+        b = splitmix64(item ^ family.seed) % w
+        if b in per_bucket:
+            per_bucket[b].append(truth.frequency(item))
+    return {
+        b: sorted(freqs, reverse=True)[:top] for b, freqs in per_bucket.items()
+    }
+
+
+def test_fig06a_per_bucket_longtail(benchmark, bench_network):
+    stream, truth = bench_network
+    w, probed = 800, (3, 97, 411)
+    result = once(benchmark, bucket_top_frequencies, truth, w, probed)
+    rows = []
+    for rank in range(20):
+        rows.append(
+            [rank + 1]
+            + [
+                result[b][rank] if rank < len(result[b]) else ""
+                for b in probed
+            ]
+        )
+    emit(
+        "fig06",
+        ["rank"] + [f"bucket{b}" for b in probed],
+        rows,
+        title="Fig 6(a): top-20 frequencies in three buckets (network, w=800)",
+    )
+    for b in probed:
+        freqs = result[b]
+        assert len(freqs) >= 5
+        # Long tail: the head dominates the 5th-ranked item noticeably.
+        assert freqs[0] >= 2 * freqs[min(4, len(freqs) - 1)]
+
+
+def test_fig06b_per_dataset_longtail(benchmark, datasets):
+    def collect():
+        return {
+            name: truth.frequencies_sorted()[:20]
+            for name, (stream, truth) in datasets.items()
+        }
+
+    result = once(benchmark, collect)
+    rows = [
+        [rank + 1] + [result[name][rank] for name in ("caida", "network", "social")]
+        for rank in range(20)
+    ]
+    emit(
+        "fig06",
+        ["rank", "caida", "network", "social"],
+        rows,
+        title="Fig 6(b): top-20 frequencies per dataset",
+    )
+    for name, freqs in result.items():
+        assert freqs[0] >= 3 * freqs[19], name

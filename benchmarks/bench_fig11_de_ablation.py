@@ -1,0 +1,64 @@
+"""Fig. 11 — effect of the Deviation Eliminator (Optimization I).
+
+Persistent-items mode (α = 0, β = 1) on the Network dataset.  Shape: the
+two-flag version (Y) is at least as precise as the basic one-flag version
+(N) — the paper reports a slight but consistent edge.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, once
+from repro.experiments.configs import ltc_factory
+from repro.metrics.accuracy import average_relative_error, precision
+from repro.metrics.memory import MemoryBudget, kb
+
+K = 100
+
+
+def run_pair(stream, truth, mem_kb):
+    exact = truth.top_k_items(K, 0.0, 1.0)
+    out = []
+    for de in (True, False):
+        ltc = ltc_factory(
+            MemoryBudget(kb(mem_kb)),
+            stream,
+            alpha=0.0,
+            beta=1.0,
+            deviation_eliminator=de,
+        )()
+        stream.run(ltc)
+        prec = precision((r.item for r in ltc.top_k(K)), exact)
+        are = average_relative_error(
+            ltc.reported_pairs(K), lambda i: truth.significance(i, 0.0, 1.0)
+        )
+        out.append((prec, are))
+    return out  # [(with_de), (without_de)]
+
+
+def test_fig11_de_vs_memory(benchmark, bench_network):
+    stream, truth = bench_network
+
+    def sweep():
+        return [(mem, *run_pair(stream, truth, mem)) for mem in (2, 4, 8, 16)]
+
+    rows = once(benchmark, sweep)
+    emit(
+        "fig11",
+        ["memory(KB)", "Y precision", "Y ARE", "N precision", "N ARE"],
+        [
+            (m, f"{y[0]:.3f}", f"{y[1]:.4f}", f"{n[0]:.3f}", f"{n[1]:.4f}")
+            for m, y, n in rows
+        ],
+        title="Fig 11: Deviation Eliminator ablation, alpha=0 beta=1 (network)",
+    )
+    # Precision: the paper reports a slight edge for Y; at bench scale
+    # (50 periods vs the paper's 1000) the two are statistically tied, so
+    # we assert parity within noise (EXPERIMENTS.md records the deviation).
+    for mem, (y_prec, y_are), (n_prec, n_are) in rows:
+        assert y_prec >= n_prec - 0.08, f"DE hurt precision at {mem}KB"
+    # The unambiguous effect of Optimization I: the deviation (and with it
+    # the persistency overestimation) disappears, so Y's ARE is strictly
+    # better on average.
+    mean_y = sum(y[1] for _, y, _ in rows) / len(rows)
+    mean_n = sum(n[1] for _, _, n in rows) / len(rows)
+    assert mean_y < mean_n

@@ -1,0 +1,85 @@
+"""Figs. 14 & 15 — finding significant items (the paper's headline task).
+
+One sweep per dataset regenerates both figures for the three parameter
+pairings the paper tests: (α:β) ∈ {1:10, 1:1, 10:1}.  Line-up: LTC vs the
+two-structure combinations of the strongest baselines (CU+CU, with CM+CM
+for reference), per §V-H.
+
+Shapes: LTC has higher precision and lower ARE than the combined baseline
+on every dataset, every pairing and every memory size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, once
+from repro.experiments.configs import default_algorithms_significant
+from repro.experiments.runner import run_and_evaluate
+from repro.metrics.memory import MemoryBudget, kb
+
+K = 100
+PAIRINGS = [(1.0, 10.0), (1.0, 1.0), (10.0, 1.0)]
+MEMORY_KBS = (4, 8, 16)
+
+
+def sweep(stream, truth):
+    table = []  # (alpha, beta, mem, results)
+    for alpha, beta in PAIRINGS:
+        for mem in MEMORY_KBS:
+            budget = MemoryBudget(kb(mem))
+            results = run_and_evaluate(
+                default_algorithms_significant(budget, stream, K, alpha, beta),
+                stream,
+                K,
+                alpha,
+                beta,
+                truth,
+            )
+            table.append((alpha, beta, mem, results))
+    return table
+
+
+@pytest.mark.parametrize(
+    "dataset_name,subplot",
+    [("caida", "b"), ("network", "c"), ("social", "d")],
+)
+def test_fig14_15_significant(benchmark, datasets, dataset_name, subplot):
+    stream, truth = datasets[dataset_name]
+    table = once(benchmark, sweep, stream, truth)
+    names = [r.name for r in table[0][3]]
+    emit(
+        "fig14",
+        ["alpha:beta", "memory(KB)"] + names,
+        [
+            [f"{a:g}:{b:g}", mem] + [f"{r.precision:.3f}" for r in results]
+            for a, b, mem, results in table
+        ],
+        title=f"Fig 14({subplot}): precision on {dataset_name} (k={K})",
+    )
+    emit(
+        "fig15",
+        ["alpha:beta", "memory(KB)"] + names,
+        [
+            [f"{a:g}:{b:g}", mem] + [f"{r.are:.3g}" for r in results]
+            for a, b, mem, results in table
+        ],
+        title=f"Fig 15({subplot}): ARE on {dataset_name} (k={K})",
+    )
+    for alpha, beta, mem, results in table:
+        by_name = {r.name: r for r in results}
+        ltc = by_name.pop("LTC")
+        label = f"{dataset_name} {alpha:g}:{beta:g}@{mem}KB"
+        assert all(
+            ltc.precision >= r.precision - 0.02 for r in by_name.values()
+        ), f"{label}: LTC not best precision"
+        assert all(
+            ltc.are <= r.are + 1e-9 for r in by_name.values()
+        ), f"{label}: LTC not best ARE"
+    # Dramatic ARE gap at the tightest budget for at least one pairing.
+    tightest = [row for row in table if row[2] == MEMORY_KBS[0]]
+    assert any(
+        min(r.are for r in results if r.name != "LTC")
+        > 10 * next(r.are for r in results if r.name == "LTC") + 1e-9
+        for _, _, _, results in tightest
+    )

@@ -1,0 +1,123 @@
+"""Insertion throughput (the paper's speed claim, §I/§V).
+
+The paper's numbers are C++ on a Xeon; absolute Python Mops are not
+comparable, so this bench reports *relative* throughput.  Shape to
+reproduce: LTC processes insertions in the same speed class as the
+counter-based algorithms and is not slower than the multi-hash
+sketch+heap pipelines by more than a small factor; PIE pays for its
+per-insert fountain encoding.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, once
+from repro.experiments.configs import (
+    default_algorithms_frequent,
+    default_algorithms_persistent,
+)
+from repro.metrics.memory import MemoryBudget, kb
+from repro.metrics.throughput import measure_query_throughput, measure_throughput
+
+
+def test_throughput_frequent(benchmark, bench_caida):
+    stream, _ = bench_caida
+    budget = MemoryBudget(kb(8))
+    factories = dict(default_algorithms_frequent(budget, stream, 100))
+    # The engineering variant with the O(1) hit path (same behaviour,
+    # differentially tested) — included to show the Python-level headroom.
+    from repro.core.fast_ltc import FastLTC
+    from repro.core.config import LTCConfig
+
+    factories["FastLTC"] = lambda: FastLTC(
+        LTCConfig(
+            num_buckets=budget.ltc_buckets(8),
+            bucket_width=8,
+            alpha=1.0,
+            beta=0.0,
+            items_per_period=stream.period_length,
+        )
+    )
+
+    def run():
+        return {
+            name: measure_throughput(factory, stream, name=name, repeats=2)
+            for name, factory in factories.items()
+        }
+
+    results = once(benchmark, run)
+    emit(
+        "throughput",
+        ["algorithm", "Mops", "relative to LTC"],
+        [
+            (name, f"{r.mops:.3f}", f"{r.mops / results['LTC'].mops:.2f}x")
+            for name, r in results.items()
+        ],
+        title="Throughput, frequent-items line-up (caida, 8KB)",
+    )
+    ltc = results["LTC"].mops
+    # Pure-Python caveat (DESIGN.md §3): dict-based counter algorithms
+    # (Freq, LC) benefit from C-implemented dicts, so only the relative
+    # claims that survive the language change are asserted — LTC's single
+    # hash + d-cell scan beats every multi-hash sketch+heap pipeline.
+    assert ltc > results["CU"].mops
+    assert ltc > results["Count"].mops
+    # CM and LTC are the same speed class in Python; allow 2x noise.
+    assert ltc * 2.0 > results["CM"].mops
+    # The indexed variant is in the same speed class as the reference
+    # (its edge shows on hit-heavy streams; see tests/test_fast_ltc.py —
+    # here the claim is only "never materially slower").
+    assert results["FastLTC"].mops >= ltc * 0.6
+
+
+def test_query_throughput(benchmark, bench_caida):
+    """Point-query latency of populated summaries (items present+absent)."""
+    stream, truth = bench_caida
+    budget = MemoryBudget(kb(8))
+    factories = default_algorithms_frequent(budget, stream, 100)
+    probes = truth.items()[:2_000] + [2**40 + i for i in range(2_000)]
+
+    def run():
+        out = {}
+        for name, factory in factories.items():
+            summary = factory()
+            stream.run(summary)
+            out[name] = measure_query_throughput(
+                summary, probes, name=name, repeats=2
+            )
+        return out
+
+    results = once(benchmark, run)
+    emit(
+        "throughput",
+        ["algorithm", "queries Mops"],
+        [(name, f"{r.mops:.3f}") for name, r in results.items()],
+        title="Point-query throughput (caida, 8KB, 50% absent keys)",
+    )
+    # LTC answers point queries with a single bucket probe — same class
+    # as the hash-table baselines, faster than multi-row sketch medians.
+    assert results["LTC"].mops > results["Count"].mops
+
+
+def test_throughput_persistent(benchmark, bench_social):
+    stream, _ = bench_social
+    budget = MemoryBudget(kb(8))
+    factories = default_algorithms_persistent(budget, stream, 100)
+
+    def run():
+        return {
+            name: measure_throughput(factory, stream, name=name, repeats=2)
+            for name, factory in factories.items()
+        }
+
+    results = once(benchmark, run)
+    emit(
+        "throughput",
+        ["algorithm", "Mops", "relative to LTC"],
+        [
+            (name, f"{r.mops:.3f}", f"{r.mops / results['LTC'].mops:.2f}x")
+            for name, r in results.items()
+        ],
+        title="Throughput, persistent-items line-up (social, 8KB)",
+    )
+    # PIE's fountain encoding makes it the slowest of the line-up.
+    assert results["LTC"].mops > results["PIE"].mops

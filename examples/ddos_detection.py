@@ -1,0 +1,70 @@
+"""Use case 1 (paper §I-A): DDoS detection via significant items.
+
+Attack sources are both frequent AND persistent; flash-crowd sources are
+frequent but short-lived.  A plain heavy-hitter detector flags both; LTC
+with beta > 0 separates them.
+
+Run:  python examples/ddos_detection.py
+"""
+
+import random
+
+from repro import LTC, LTCConfig, MemoryBudget, kb
+from repro.streams import PeriodicStream
+
+rng = random.Random(2024)
+
+NUM_PERIODS = 60
+PACKETS_PER_PERIOD = 1_500
+
+# --- synthesize traffic --------------------------------------------------
+attackers = [rng.getrandbits(32) for _ in range(20)]  # persistent + frequent
+flash_crowd = [rng.getrandbits(32) for _ in range(20)]  # frequent, 3 periods
+background = [rng.getrandbits(32) for _ in range(30_000)]  # noise
+
+events = []
+for period in range(NUM_PERIODS):
+    period_events = []
+    for src in attackers:  # every attacker, every period
+        period_events += [src] * 18
+    if 20 <= period < 23:  # the flash crowd: brief but intense
+        for src in flash_crowd:
+            period_events += [src] * 120
+    while len(period_events) < PACKETS_PER_PERIOD:
+        period_events.append(rng.choice(background))
+    rng.shuffle(period_events)
+    events += period_events[:PACKETS_PER_PERIOD]
+
+stream = PeriodicStream(events=events, num_periods=NUM_PERIODS, name="traffic")
+print(stream.stats)
+
+# --- detectors ------------------------------------------------------------
+def detect(alpha: float, beta: float, k: int = 40):
+    ltc = LTC.from_memory(
+        MemoryBudget(kb(16)),
+        items_per_period=stream.period_length,
+        alpha=alpha,
+        beta=beta,
+    )
+    stream.run(ltc)
+    return [r.item for r in ltc.top_k(k)]
+
+
+def score(label, flagged):
+    hits = len(set(flagged) & set(attackers))
+    false_crowd = len(set(flagged) & set(flash_crowd))
+    print(
+        f"{label:<28} attackers {hits}/{len(attackers)}  "
+        f"flash-crowd false flags {false_crowd}"
+    )
+
+
+print("\nflagging the top-40 sources:")
+score("frequency only (a=1, b=0)", detect(1.0, 0.0))
+score("significance (a=1, b=50)", detect(1.0, 50.0))
+score("persistency only (a=0, b=1)", detect(0.0, 1.0))
+
+print(
+    "\nThe frequency-only detector wastes flags on the flash crowd; "
+    "weighting persistency isolates the true attackers."
+)

@@ -1,0 +1,46 @@
+"""Theoretical analysis of LTC (paper §IV): Zipf stream model, the
+correct-rate lower bound, and the error (Markov) bound."""
+
+from repro.analysis.zipf import zeta, zipf_model_frequencies
+from repro.analysis.bounds import (
+    correct_rate_lower_bound,
+    error_probability_bound,
+    expected_decrements,
+    p_small,
+)
+from repro.analysis.distribution import (
+    LongTailReport,
+    ZipfFit,
+    fit_zipf,
+    is_long_tailed,
+    sample_frequencies,
+    tail_ratio,
+)
+from repro.analysis.occupancy import (
+    bucket_overflow_probability,
+    expected_overflowing_buckets,
+    overflow_curve,
+    poisson_tail,
+)
+from repro.analysis.planner import MemoryPlan, recommend_memory
+
+__all__ = [
+    "zeta",
+    "zipf_model_frequencies",
+    "correct_rate_lower_bound",
+    "error_probability_bound",
+    "expected_decrements",
+    "p_small",
+    "fit_zipf",
+    "is_long_tailed",
+    "tail_ratio",
+    "sample_frequencies",
+    "ZipfFit",
+    "LongTailReport",
+    "MemoryPlan",
+    "recommend_memory",
+    "poisson_tail",
+    "bucket_overflow_probability",
+    "expected_overflowing_buckets",
+    "overflow_curve",
+]

@@ -1,0 +1,139 @@
+"""LTC's theoretical guarantees (paper §IV).
+
+Correct-rate bound (§IV-B).  Lemma IV.1: an item's reported significance
+is exact if (1) its first arrival found a free cell and (2) its cell was
+never the bucket minimum.  Call a competitor ``e_i`` *useful* for ``e`` if
+it lands in ``e``'s bucket and its count ever exceeded ``e``'s:
+
+    k_i = 1/w                      if f_i > f
+    k_i = (1/w) · f_i / (f + 1)    otherwise
+
+(The provided paper text garbles this formula; this is the reconstruction
+that is monotone in ``f_i``, equals ``1/w`` at ``f_i = f + 1``, and
+reproduces the paper's Fig. 7(a) behaviour — a conservative lower bound
+that tightens with memory.)  With ``dp[j][x]`` the probability that the
+``j`` most frequent items contain exactly ``x`` useful ones (Eq. 4),
+
+    P ≥ Σ_{x=0}^{d-2} dp[M][x]                                   (Eq. 5)
+
+Error bound (§IV-C).  ``X_i``, the number of Significance-Decrementing
+operations performed on ``e_i``, satisfies ``E(X_i) = P_small · E(V)``
+with ``E(V) = (1/w) Σ_{j>i} f_j`` (Eqs. 8–9); Markov gives
+
+    Pr{ s_i − ŝ_i ≥ εN } ≤ P_small · E(V) · (α+β) / (εN)          (Eq. 11)
+
+``P_small``, the probability that a fixed cell of a ``d``-cell bucket is
+the minimum, is ``1/d`` by symmetry — the binomial sum printed as Eq. 7
+telescopes to exactly that (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def p_small(d: int) -> float:
+    """Probability that a fixed cell is its bucket's minimum (Eq. 7)."""
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    return 1.0 / d
+
+
+def useful_probability(f_i: float, f: float, w: int) -> float:
+    """``k_i``: competitor ``e_i`` shares the bucket and ever overtakes ``e``."""
+    if w < 1:
+        raise ValueError("w must be >= 1")
+    if f_i > f:
+        return 1.0 / w
+    return (f_i / (f + 1.0)) / w
+
+
+def correct_rate_lower_bound(
+    frequencies: Sequence[float], w: int, d: int, f: float
+) -> float:
+    """Lower-bound the probability that an item of frequency ``f`` is
+    reported exactly (Eqs. 4–5).
+
+    Args:
+        frequencies: Model or empirical frequencies of all distinct items,
+            any order (the dp product is order-independent).
+        w: Number of buckets.
+        d: Cells per bucket.
+        f: The queried item's frequency.
+    """
+    if d < 2:
+        return 0.0
+    limit = d - 1  # we only need dp[·][0 .. d-2]
+    dp = [0.0] * (limit + 1)
+    dp[0] = 1.0
+    for f_i in frequencies:
+        k = useful_probability(f_i, f, w)
+        if k == 0.0:
+            continue
+        # In-place downward update of the Poisson-binomial prefix.
+        for x in range(limit, 0, -1):
+            dp[x] = dp[x] * (1.0 - k) + dp[x - 1] * k
+        dp[0] *= 1.0 - k
+    return sum(dp[: d - 1])
+
+
+def expected_decrements(
+    frequencies_desc: Sequence[float], rank: int, w: int, d: int
+) -> float:
+    """``E(X_i)`` for the rank-``rank`` item (0-based; Eqs. 8–9).
+
+    ``frequencies_desc`` must be sorted descending; items ranked below
+    ``rank`` are the potential decrementers (less significant, same
+    bucket with probability ``1/w``).
+    """
+    e_v = sum(frequencies_desc[rank + 1 :]) / w
+    return p_small(d) * e_v
+
+
+def error_probability_bound(
+    frequencies_desc: Sequence[float],
+    rank: int,
+    w: int,
+    d: int,
+    alpha: float,
+    beta: float,
+    epsilon: float,
+    total: float,
+) -> float:
+    """Markov bound ``Pr{s_i − ŝ_i ≥ εN}`` for the rank-``rank`` item
+    (Eq. 11), clipped to 1."""
+    if epsilon <= 0 or total <= 0:
+        raise ValueError("epsilon and total must be positive")
+    bound = (
+        expected_decrements(frequencies_desc, rank, w, d)
+        * (alpha + beta)
+        / (epsilon * total)
+    )
+    return min(bound, 1.0)
+
+
+def mean_topk_correct_rate_bound(
+    frequencies_desc: Sequence[float],
+    w: int,
+    d: int,
+    k: int,
+    sample: int = 32,
+) -> float:
+    """Average of the correct-rate bound over the top-k items — the
+    quantity Fig. 7(a) plots against the measured correct rate.
+
+    The per-item dp is O(M·d); evaluating it at every one of the k ranks is
+    wasteful because the bound varies smoothly with rank, so it is computed
+    at ``sample`` evenly spaced ranks and averaged.
+    """
+    k = min(k, len(frequencies_desc))
+    if k == 0:
+        return 1.0
+    sample = max(1, min(sample, k))
+    ranks = [rank * k // sample for rank in range(sample)]
+    bounds: List[float] = []
+    for rank in ranks:
+        f = frequencies_desc[rank]
+        others = list(frequencies_desc[:rank]) + list(frequencies_desc[rank + 1 :])
+        bounds.append(correct_rate_lower_bound(others, w, d, f))
+    return sum(bounds) / len(bounds)

@@ -1,0 +1,141 @@
+"""Long-tail distribution diagnostics (paper §III-D, "Shortcoming").
+
+Long-tail Replacement assumes a long-tail frequency distribution; the
+paper advises users to check their data before enabling it: "users can
+sample the dataset, and plot a figure to show the frequency distribution
+to check whether there is a long tail".  This module implements that
+check programmatically:
+
+* :func:`fit_zipf` — least-squares fit of ``log f = c − γ·log rank``;
+* :func:`tail_ratio` — head-to-tail mass ratio;
+* :func:`is_long_tailed` — the go/no-go answer with a report;
+* :func:`sample_frequencies` — reservoir-style sampling for large inputs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Counter as CounterT, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class ZipfFit:
+    """Least-squares Zipf fit of a descending frequency sequence."""
+
+    skew: float  # fitted γ (slope magnitude in log-log space)
+    intercept: float  # fitted log f at rank 1
+    r_squared: float  # goodness of fit in log-log space
+
+    def predicted(self, rank: int) -> float:
+        """Fitted frequency at ``rank`` (1-based)."""
+        return math.exp(self.intercept - self.skew * math.log(rank))
+
+
+def fit_zipf(frequencies_desc: Sequence[float]) -> ZipfFit:
+    """Fit a power law to a descending frequency sequence.
+
+    Args:
+        frequencies_desc: Positive frequencies sorted descending (at least
+            two distinct ranks are required).
+    """
+    points = [
+        (math.log(rank), math.log(freq))
+        for rank, freq in enumerate(frequencies_desc, start=1)
+        if freq > 0
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two positive frequencies")
+    n = len(points)
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    sxx = sum((x - mean_x) ** 2 for x, _ in points)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    if sxx == 0:
+        raise ValueError("degenerate rank range")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    syy = sum((y - mean_y) ** 2 for _, y in points)
+    r_squared = 0.0 if syy == 0 else (sxy * sxy) / (sxx * syy)
+    return ZipfFit(skew=-slope, intercept=intercept, r_squared=r_squared)
+
+
+def tail_ratio(frequencies_desc: Sequence[float], head_fraction: float = 0.01) -> float:
+    """Mass share of the top ``head_fraction`` of items.
+
+    A uniform distribution gives ≈ ``head_fraction``; a long tail gives a
+    far larger share (the paper's datasets put >30% of mass in the top 1%).
+    """
+    if not 0.0 < head_fraction <= 1.0:
+        raise ValueError("head_fraction must be in (0, 1]")
+    total = sum(frequencies_desc)
+    if total <= 0:
+        raise ValueError("frequencies must have positive mass")
+    head = max(1, int(len(frequencies_desc) * head_fraction))
+    return sum(frequencies_desc[:head]) / total
+
+
+@dataclass(frozen=True)
+class LongTailReport:
+    """Outcome of the long-tail check."""
+
+    long_tailed: bool
+    fit: ZipfFit
+    head_share: float
+
+    def __str__(self) -> str:
+        verdict = "long-tailed" if self.long_tailed else "NOT long-tailed"
+        return (
+            f"{verdict}: fitted skew {self.fit.skew:.2f} "
+            f"(R²={self.fit.r_squared:.2f}), top-1% share {self.head_share:.0%}"
+        )
+
+
+def is_long_tailed(
+    frequencies: Iterable[float],
+    min_skew: float = 0.5,
+    min_head_share: float = 0.1,
+) -> LongTailReport:
+    """Decide whether a frequency population is long-tailed enough for
+    Long-tail Replacement.
+
+    Args:
+        frequencies: Item frequencies, any order.
+        min_skew: Minimum fitted Zipf exponent.
+        min_head_share: Minimum mass share of the top 1% of items.
+    """
+    desc = sorted((f for f in frequencies if f > 0), reverse=True)
+    fit = fit_zipf(desc)
+    head = tail_ratio(desc, 0.01)
+    return LongTailReport(
+        long_tailed=fit.skew >= min_skew and head >= min_head_share,
+        fit=fit,
+        head_share=head,
+    )
+
+
+def sample_frequencies(
+    events: Iterable[int], sample_size: int = 100_000, seed: int = 1
+) -> List[int]:
+    """Frequencies of a uniform sample of the stream (for huge inputs).
+
+    Reservoir-samples ``sample_size`` events and counts them — the sampled
+    frequency distribution preserves the head/tail shape, which is all the
+    long-tail check needs.
+    """
+    if sample_size < 1:
+        raise ValueError("sample_size must be >= 1")
+    rng = random.Random(seed)
+    reservoir: List[int] = []
+    for index, item in enumerate(events):
+        if index < sample_size:
+            reservoir.append(item)
+        else:
+            slot = rng.randrange(index + 1)
+            if slot < sample_size:
+                reservoir[slot] = item
+    from collections import Counter
+
+    counts: CounterT[int] = Counter(reservoir)
+    return sorted(counts.values(), reverse=True)

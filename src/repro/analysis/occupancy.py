@@ -1,0 +1,66 @@
+"""Bucket-occupancy model for the lossy table (design-choice analysis).
+
+Why d = 8?  With ``M`` contending items hashed over ``w`` buckets, the
+number landing in one bucket is Binomial(M, 1/w) ≈ Poisson(M/w).  A
+bucket overflows (forces Significance Decrementing) once it holds more
+than ``d`` contenders.  This module computes that overflow probability,
+which makes the accuracy-vs-d trade-off quantitative — with an important
+regime split:
+
+* **underloaded** (contenders < total cells, the regime of the items
+  worth protecting — the top-k are far fewer than the cells): at fixed
+  total cells ``w·d``, larger d lowers the overflow probability (better
+  load balancing), with diminishing returns past d ≈ 8 — the plateau
+  measured by ``bench_appx_vary_d``;
+* **overloaded** (contenders ≫ cells, the long tail of noise): every
+  wide bucket overflows with near certainty, so bucket slack protects
+  nothing — there, the defence is Significance Decrementing itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def poisson_tail(mean: float, threshold: int) -> float:
+    """``P[X > threshold]`` for ``X ~ Poisson(mean)``."""
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if threshold < 0:
+        return 1.0
+    term = math.exp(-mean)
+    cdf = term
+    for k in range(1, threshold + 1):
+        term *= mean / k
+        cdf += term
+    return max(0.0, 1.0 - cdf)
+
+
+def bucket_overflow_probability(num_items: int, w: int, d: int) -> float:
+    """Probability that a given bucket receives more than ``d`` of the
+    ``num_items`` contenders (Poisson approximation)."""
+    if w < 1 or d < 1:
+        raise ValueError("w and d must be >= 1")
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    return poisson_tail(num_items / w, d)
+
+
+def expected_overflowing_buckets(num_items: int, w: int, d: int) -> float:
+    """Expected number of buckets in overflow."""
+    return w * bucket_overflow_probability(num_items, w, d)
+
+
+def overflow_curve(num_items: int, total_cells: int, widths) -> "list[tuple[int, float]]":
+    """Overflow probability for each candidate ``d`` at fixed total cells.
+
+    Args:
+        num_items: Contending distinct items.
+        total_cells: The memory budget in cells (``w = total_cells // d``).
+        widths: Candidate bucket widths.
+    """
+    curve = []
+    for d in widths:
+        w = max(1, total_cells // d)
+        curve.append((d, bucket_overflow_probability(num_items, w, d)))
+    return curve

@@ -1,0 +1,102 @@
+"""Memory planning: invert the §IV correct-rate bound (extension).
+
+Deployments ask the question backwards from the paper: not "what accuracy
+does M bytes buy" but "how many bytes do I need for target accuracy".
+:func:`recommend_memory` answers it by evaluating the §IV-B correct-rate
+lower bound over a Zipf model of the workload and binary-searching the
+smallest LTC table whose *guaranteed* rate clears the target.  Because
+the bound is conservative (paper Fig. 7(a), reproduced in
+``bench_fig07_bounds.py``), the recommendation errs on the safe side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bounds import mean_topk_correct_rate_bound
+from repro.analysis.zipf import zipf_model_frequencies
+from repro.metrics.memory import LTC_CELL_BYTES
+
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Outcome of :func:`recommend_memory`."""
+
+    num_buckets: int
+    bucket_width: int
+    total_bytes: int
+    guaranteed_rate: float  # the bound's value at the recommendation
+    target_rate: float
+
+    @property
+    def total_cells(self) -> int:
+        return self.num_buckets * self.bucket_width
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total_bytes / 1024:.1f}KB "
+            f"({self.num_buckets}×{self.bucket_width} cells): guaranteed "
+            f"correct rate {self.guaranteed_rate:.2f} ≥ {self.target_rate:.2f}"
+        )
+
+
+def recommend_memory(
+    num_distinct: int,
+    stream_length: int,
+    skew: float,
+    k: int,
+    target_rate: float = 0.9,
+    bucket_width: int = 8,
+    max_buckets: int = 1 << 22,
+) -> MemoryPlan:
+    """Smallest LTC sizing whose §IV-B bound meets ``target_rate``.
+
+    Args:
+        num_distinct: Expected distinct items ``M``.
+        stream_length: Expected arrivals ``N``.
+        skew: Zipf exponent of the workload (measure it with
+            :func:`repro.analysis.distribution.fit_zipf`).
+        k: Top-k size the deployment will query.
+        target_rate: Required mean correct rate over the top-k.
+        bucket_width: Cells per bucket (paper default 8).
+        max_buckets: Search ceiling; exceeding it raises.
+
+    Raises:
+        ValueError: If the target is unreachable within ``max_buckets``
+            (or arguments are out of range).
+    """
+    if not 0.0 < target_rate < 1.0:
+        raise ValueError("target_rate must be in (0, 1)")
+    if num_distinct < 1 or stream_length < 1 or k < 1:
+        raise ValueError("workload parameters must be positive")
+    freqs = zipf_model_frequencies(stream_length, num_distinct, skew)
+
+    def rate(buckets: int) -> float:
+        return mean_topk_correct_rate_bound(
+            freqs, buckets, bucket_width, k, sample=8
+        )
+
+    # Exponential search for an upper bracket…
+    low, high = 1, 2
+    while rate(high) < target_rate:
+        low, high = high, high * 2
+        if high > max_buckets:
+            raise ValueError(
+                f"target rate {target_rate} unreachable within "
+                f"{max_buckets} buckets for this workload"
+            )
+    # …then binary search for the smallest satisfying bucket count.
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if rate(mid) >= target_rate:
+            high = mid
+        else:
+            low = mid
+    guaranteed = rate(high)
+    return MemoryPlan(
+        num_buckets=high,
+        bucket_width=bucket_width,
+        total_bytes=high * bucket_width * LTC_CELL_BYTES,
+        guaranteed_rate=guaranteed,
+        target_rate=target_rate,
+    )

@@ -1,0 +1,25 @@
+"""The Zipf stream model of the paper's analysis (§IV-B, Eq. 3).
+
+For a stream with ``M`` distinct items, total length ``N`` and skew ``γ``,
+the rank-``i`` frequency is modelled as ``f_i = N / (i^γ · ζ(γ))`` with
+``ζ(γ) = Σ_{i=1}^{M} i^{-γ}`` (the truncated zeta normaliser).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def zeta(gamma: float, num_items: int) -> float:
+    """Truncated zeta ``Σ_{i=1}^{M} i^{-γ}``."""
+    if num_items < 1:
+        raise ValueError("num_items must be >= 1")
+    return sum(i ** -gamma for i in range(1, num_items + 1))
+
+
+def zipf_model_frequencies(
+    total: int, num_items: int, gamma: float
+) -> List[float]:
+    """Model frequencies ``f_1 ≥ f_2 ≥ … ≥ f_M`` of Eq. 3 (real-valued)."""
+    z = zeta(gamma, num_items)
+    return [total / (i ** gamma * z) for i in range(1, num_items + 1)]

@@ -1,0 +1,239 @@
+"""Command-line driver: ``repro-ltc`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``demo``           — run LTC on a dataset substitute and print the top-k;
+* ``compare``        — head-to-head accuracy table against the baselines;
+* ``throughput``     — relative insertion throughput of all algorithms;
+* ``check-longtail`` — the §III-D distribution check that should precede
+  enabling Long-tail Replacement (works on the built-in datasets or on a
+  trace file via ``--trace``);
+* ``figure``         — regenerate a paper figure by id (runs its benchmark);
+* ``plan``           — recommend LTC memory for a target correct rate by
+  inverting the §IV bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.configs import (
+    default_algorithms_frequent,
+    default_algorithms_persistent,
+    default_algorithms_significant,
+    ltc_factory,
+    make_dataset,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_and_evaluate
+from repro.metrics.memory import MemoryBudget, kb
+from repro.metrics.throughput import measure_throughput
+from repro.streams.ground_truth import GroundTruth
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        choices=["caida", "network", "social"],
+        default="network",
+        help="dataset substitute to run on",
+    )
+    parser.add_argument("--memory-kb", type=float, default=50.0)
+    parser.add_argument("-k", type=int, default=100)
+    parser.add_argument("--alpha", type=float, default=1.0)
+    parser.add_argument("--beta", type=float, default=1.0)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ltc",
+        description="LTC significant-items reproduction driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("demo", "compare", "throughput"):
+        _add_common(sub.add_parser(name))
+    longtail = sub.add_parser("check-longtail")
+    _add_common(longtail)
+    longtail.add_argument(
+        "--trace",
+        default=None,
+        help="item-per-line trace file to check instead of a built-in dataset",
+    )
+    longtail.add_argument(
+        "--sample-size",
+        type=int,
+        default=100_000,
+        help="events sampled for the distribution check",
+    )
+    figure = sub.add_parser("figure")
+    figure.add_argument(
+        "id",
+        help="figure id to regenerate, e.g. fig09, fig12, fig14, appx_zipf, "
+        "throughput (runs the matching benchmark)",
+    )
+    plan = sub.add_parser("plan")
+    plan.add_argument("--distinct", type=int, required=True)
+    plan.add_argument("--events", type=int, required=True)
+    plan.add_argument("--skew", type=float, default=1.0)
+    plan.add_argument("-k", type=int, default=100)
+    plan.add_argument("--target-rate", type=float, default=0.9)
+    plan.add_argument("-d", "--bucket-width", type=int, default=8)
+    return parser
+
+
+def _demo(args: argparse.Namespace) -> int:
+    stream = make_dataset(args.dataset)
+    budget = MemoryBudget(kb(args.memory_kb))
+    ltc = ltc_factory(budget, stream, args.alpha, args.beta)()
+    stream.run(ltc)
+    truth = GroundTruth(stream)
+    rows = []
+    for report in ltc.top_k(args.k)[:20]:
+        rows.append(
+            (
+                report.item,
+                f"{report.significance:g}",
+                f"{truth.significance(report.item, args.alpha, args.beta):g}",
+                int(report.frequency),
+                int(report.persistency),
+            )
+        )
+    print(stream.stats)
+    print(
+        format_table(
+            ["item", "est. sig", "real sig", "est. f", "est. p"],
+            rows,
+            title=f"LTC top items (alpha={args.alpha:g}, beta={args.beta:g})",
+        )
+    )
+    return 0
+
+
+def _line_up(args: argparse.Namespace, stream):
+    budget = MemoryBudget(kb(args.memory_kb))
+    if args.beta == 0:
+        return default_algorithms_frequent(budget, stream, args.k)
+    if args.alpha == 0:
+        return default_algorithms_persistent(budget, stream, args.k)
+    return default_algorithms_significant(
+        budget, stream, args.k, args.alpha, args.beta
+    )
+
+
+def _compare(args: argparse.Namespace) -> int:
+    stream = make_dataset(args.dataset)
+    factories = _line_up(args, stream)
+    results = run_and_evaluate(factories, stream, args.k, args.alpha, args.beta)
+    print(stream.stats)
+    print(
+        format_table(
+            ["algorithm", "precision", "ARE", "AAE"],
+            [r.row() for r in results],
+            title=(
+                f"top-{args.k} significant items, "
+                f"{args.memory_kb:g}KB, alpha={args.alpha:g}, beta={args.beta:g}"
+            ),
+        )
+    )
+    return 0
+
+
+def _throughput(args: argparse.Namespace) -> int:
+    stream = make_dataset(args.dataset)
+    factories = _line_up(args, stream)
+    rows = []
+    for name, factory in factories.items():
+        result = measure_throughput(factory, stream, name=name)
+        rows.append((name, f"{result.mops:.3f}"))
+    print(format_table(["algorithm", "Mops"], rows, title=str(stream.stats)))
+    return 0
+
+
+def _check_longtail(args: argparse.Namespace) -> int:
+    from repro.analysis.distribution import is_long_tailed, sample_frequencies
+    from repro.streams.io import load_items
+
+    if args.trace:
+        stream = load_items(args.trace, num_periods=1)
+        label = args.trace
+    else:
+        stream = make_dataset(args.dataset)
+        label = stream.name
+    freqs = sample_frequencies(stream.events, sample_size=args.sample_size)
+    report = is_long_tailed(freqs)
+    print(f"{label}: {report}")
+    if report.long_tailed:
+        print("Long-tail Replacement is appropriate for this workload.")
+        return 0
+    print(
+        "Distribution is not long-tailed; consider running LTC with "
+        "longtail_replacement=False (paper §III-D, Shortcoming)."
+    )
+    return 1
+
+
+def _figure(args: argparse.Namespace) -> int:
+    """Regenerate a paper figure by running its benchmark via pytest."""
+    import glob
+    import os
+
+    import pytest
+
+    root = os.path.join(os.path.dirname(__file__), "..", "..", "benchmarks")
+    root = os.path.abspath(root)
+    pattern = os.path.join(root, f"bench_{args.id}*.py")
+    matches = sorted(glob.glob(pattern))
+    if not matches:
+        available = sorted(
+            os.path.basename(p)[len("bench_") : -len(".py")]
+            for p in glob.glob(os.path.join(root, "bench_*.py"))
+        )
+        print(f"no benchmark matches {args.id!r}; available: {available}")
+        return 2
+    return pytest.main(["-q", "--benchmark-only", "-s", *matches])
+
+
+def _plan(args: argparse.Namespace) -> int:
+    """Recommend LTC memory for a target correct rate (§IV bound)."""
+    from repro.analysis.planner import recommend_memory
+
+    try:
+        plan = recommend_memory(
+            num_distinct=args.distinct,
+            stream_length=args.events,
+            skew=args.skew,
+            k=args.k,
+            target_rate=args.target_rate,
+            bucket_width=args.bucket_width,
+        )
+    except ValueError as exc:
+        print(f"planning failed: {exc}")
+        return 1
+    print(plan)
+    print(
+        "Build it with: LTC.from_memory(MemoryBudget("
+        f"{plan.total_bytes}), items_per_period=<n>, "
+        f"bucket_width={plan.bucket_width}, ...)"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "demo": _demo,
+    "compare": _compare,
+    "throughput": _throughput,
+    "check-longtail": _check_longtail,
+    "figure": _figure,
+    "plan": _plan,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

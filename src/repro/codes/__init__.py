@@ -1,0 +1,19 @@
+"""Fountain codes — the substrate of PIE's item-ID recovery.
+
+PIE encodes item identifiers with Raptor codes [31] so that identifiers can
+be reconstructed from whatever subset of filter cells survives collision-
+free.  :mod:`repro.codes.lt` implements an LT code with a robust-soliton
+degree distribution; :mod:`repro.codes.raptor` layers a sparse XOR precode
+on top (Raptor = precode + LT) and adds a GF(2) elimination decoder.
+"""
+
+from repro.codes.lt import LTCode, RobustSoliton, join_chunks, split_chunks
+from repro.codes.raptor import RaptorCode
+
+__all__ = [
+    "LTCode",
+    "RobustSoliton",
+    "RaptorCode",
+    "split_chunks",
+    "join_chunks",
+]

@@ -1,0 +1,10 @@
+"""The straightforward combined baseline for significant items (§I-B).
+
+No prior work finds significant items directly, so the paper combines a
+frequent-items structure and a persistent-items structure and splits the
+memory between them — the strawman LTC is compared against.
+"""
+
+from repro.combined.two_structure import TwoStructureSignificant
+
+__all__ = ["TwoStructureSignificant"]

@@ -1,0 +1,33 @@
+"""Read-only view of one LTC cell (for tests, debugging and reports).
+
+The LTC hot path stores cells as parallel arrays; this view materialises a
+single cell as a record.  The paper's cell layout (§III-A): an ID field, a
+frequency field, and a persistency field holding a counter plus flag
+bit(s) — one flag in the basic version, two with the Deviation Eliminator.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+
+class CellView(NamedTuple):
+    """A snapshot of one lossy-table cell."""
+
+    bucket: int
+    slot: int
+    key: Optional[int]
+    frequency: int
+    persistency: int
+    flag_even: bool
+    flag_odd: bool
+
+    def significance(self, alpha: float, beta: float) -> float:
+        """The cell's current significance ``α·f + β·p``."""
+        return alpha * self.frequency + beta * self.persistency
+
+    @property
+    def empty(self) -> bool:
+        """Paper definition: ID is NULL (expelled cells also zero the
+        counters, so significance is 0 as required)."""
+        return self.key is None

@@ -1,0 +1,77 @@
+"""The CLOCK pointer that schedules persistency harvesting (paper §III-B).
+
+Every cell of the lossy table is a time slot on a clock face.  The pointer
+must pass over **every cell exactly once per period**; that exactness is
+what makes "persistency += at most 1 per period" hold.  Two driving modes:
+
+* count-based: a period contains ``n`` arrivals, so the pointer advances
+  ``m/n`` slots per arrival (integer accumulator — no float drift);
+* time-based: on an arrival ``Δt`` after the previous one, the pointer
+  advances ``Δt/t · m`` slots, where ``t`` is the period length.
+
+``end_period()`` completes any unfinished sweep (e.g. when the final
+period is short) and re-anchors the accumulator, so the exactly-once
+invariant holds for every period regardless of arrival jitter.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class ClockPointer:
+    """Sweeps ``num_cells`` slots exactly once per period.
+
+    Args:
+        num_cells: Table size ``m``.
+        items_per_period: Count-based period length ``n``.
+    """
+
+    def __init__(self, num_cells: int, items_per_period: int):
+        if num_cells < 1:
+            raise ValueError("num_cells must be >= 1")
+        if items_per_period < 1:
+            raise ValueError("items_per_period must be >= 1")
+        self.num_cells = num_cells
+        self.items_per_period = items_per_period
+        self.hand = 0  # next slot the pointer will pass
+        self._acc = 0  # arrival accumulator (units of 1/n periods)
+        self._facc = 0.0  # time accumulator (fractional slots)
+        self.scanned_in_period = 0
+
+    def on_arrival(self) -> List[int]:
+        """Slots to scan for one count-based arrival (``m/n`` amortised)."""
+        self._acc += self.num_cells
+        steps = self._acc // self.items_per_period
+        self._acc -= steps * self.items_per_period
+        return self._take(steps)
+
+    def on_elapsed(self, period_fraction: float) -> List[int]:
+        """Slots to scan after ``period_fraction`` of a period elapsed."""
+        if period_fraction < 0:
+            raise ValueError("time must not run backwards")
+        self._facc += period_fraction * self.num_cells
+        steps = int(self._facc)
+        self._facc -= steps
+        return self._take(steps)
+
+    def end_period(self) -> List[int]:
+        """Complete the sweep and re-anchor for the next period."""
+        remaining = self.num_cells - self.scanned_in_period
+        slots = self._take(remaining)
+        self.scanned_in_period = 0
+        self._acc = 0
+        self._facc = 0.0
+        return slots
+
+    def _take(self, steps: int) -> List[int]:
+        # Never scan a slot twice within one period.
+        steps = min(steps, self.num_cells - self.scanned_in_period)
+        if steps <= 0:
+            return []
+        m = self.num_cells
+        hand = self.hand
+        slots = [(hand + i) % m for i in range(steps)]
+        self.hand = (hand + steps) % m
+        self.scanned_in_period += steps
+        return slots

@@ -1,0 +1,97 @@
+"""Configuration for the LTC structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.metrics.memory import MemoryBudget
+
+
+@dataclass(frozen=True)
+class LTCConfig:
+    """All tunables of an LTC instance.
+
+    Args:
+        num_buckets: Bucket count ``w``.
+        bucket_width: Cells per bucket ``d`` (paper default 8, §V-C).
+        alpha: Frequency weight α of the significance function.
+        beta: Persistency weight β.
+        items_per_period: Arrivals per period ``n`` — drives the CLOCK step
+            so the pointer sweeps the whole table exactly once per period
+            (count-based periods).  Ignored when driving the structure with
+            :meth:`repro.core.ltc.LTC.insert_timed`.
+        deviation_eliminator: Enable Optimization I (two flags per cell).
+        longtail_replacement: Enable Optimization II (second-smallest − 1
+            initialisation on replacement).
+        replacement_policy: Overrides ``longtail_replacement`` for ablation
+            studies.  ``"longtail"`` = Optimization II; ``"one"`` = the
+            basic version's 1/0 initialisation; ``"space-saving"`` = no
+            Significance Decrementing at all — a full-bucket miss directly
+            replaces the minimum cell and inherits its value + 1 (the
+            Space-Saving strategy the paper argues against, §I-C).
+        seed: Bucket-hash seed.
+    """
+
+    num_buckets: int
+    bucket_width: int = 8
+    alpha: float = 1.0
+    beta: float = 1.0
+    items_per_period: int = 1
+    deviation_eliminator: bool = True
+    longtail_replacement: bool = True
+    replacement_policy: "str | None" = None
+    seed: int = 0x17C
+
+    def __post_init__(self) -> None:
+        if self.num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        if self.bucket_width < 1:
+            raise ValueError("bucket_width must be >= 1")
+        if not (self.alpha >= 0 and self.beta >= 0):  # also rejects NaN
+            raise ValueError("alpha and beta must be non-negative")
+        if self.alpha == float("inf") or self.beta == float("inf"):
+            raise ValueError("alpha and beta must be finite")
+        if self.alpha == 0 and self.beta == 0:
+            raise ValueError("alpha and beta cannot both be zero")
+        if self.items_per_period < 1:
+            raise ValueError("items_per_period must be >= 1")
+        if self.replacement_policy not in (None, "longtail", "one", "space-saving"):
+            raise ValueError(
+                "replacement_policy must be 'longtail', 'one' or 'space-saving'"
+            )
+
+    @property
+    def effective_replacement_policy(self) -> str:
+        """The policy in force (explicit override wins over the boolean)."""
+        if self.replacement_policy is not None:
+            return self.replacement_policy
+        return "longtail" if self.longtail_replacement else "one"
+
+    @property
+    def total_cells(self) -> int:
+        """Table size ``m = w·d`` (also the number of CLOCK time slots)."""
+        return self.num_buckets * self.bucket_width
+
+    @classmethod
+    def from_memory(
+        cls,
+        budget: MemoryBudget,
+        items_per_period: int,
+        bucket_width: int = 8,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        **kwargs,
+    ) -> "LTCConfig":
+        """Size the table for a byte budget (12 bytes per cell, §V-C)."""
+        return cls(
+            num_buckets=budget.ltc_buckets(bucket_width),
+            bucket_width=bucket_width,
+            alpha=alpha,
+            beta=beta,
+            items_per_period=items_per_period,
+            **kwargs,
+        )
+
+    def with_options(self, **changes) -> "LTCConfig":
+        """A copy with the given fields replaced (ablation helper)."""
+        return replace(self, **changes)

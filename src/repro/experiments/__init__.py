@@ -1,0 +1,27 @@
+"""Experiment harness: drive summaries over streams, score them against
+the exact oracle, and format the per-figure result tables."""
+
+from repro.experiments.runner import EvalResult, evaluate, run_and_evaluate
+from repro.experiments.configs import (
+    DATASET_BUILDERS,
+    default_algorithms_frequent,
+    default_algorithms_persistent,
+    default_algorithms_significant,
+    make_dataset,
+)
+from repro.experiments.monitor import ChurnEvent, TopKMonitor
+from repro.experiments.report import format_table
+
+__all__ = [
+    "TopKMonitor",
+    "ChurnEvent",
+    "EvalResult",
+    "evaluate",
+    "run_and_evaluate",
+    "make_dataset",
+    "DATASET_BUILDERS",
+    "default_algorithms_frequent",
+    "default_algorithms_persistent",
+    "default_algorithms_significant",
+    "format_table",
+]

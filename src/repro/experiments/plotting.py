@@ -1,0 +1,115 @@
+"""Text rendering of benchmark series (terminal-friendly "figures").
+
+The benchmark harness prints each paper figure as a numeric table; this
+module adds a compact visual form so the *shape* is visible at a glance
+in CI logs — horizontal bar charts for single series and multi-series
+line grids for sweeps.  Pure text, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:g}",
+) -> str:
+    """Render one series as horizontal bars.
+
+    Args:
+        labels: Row labels.
+        values: Non-negative values (one per label).
+        width: Maximum bar width in characters.
+        title: Optional caption.
+        fmt: Value format specification.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart requires non-negative values")
+    peak = max(values, default=0.0)
+    label_width = max((len(str(label)) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if peak > 0:
+            cells = value / peak * width
+            full = int(cells)
+            frac = int((cells - full) * (len(_BLOCKS) - 1))
+            bar = "█" * full + (_BLOCKS[frac] if frac else "")
+        else:
+            bar = ""
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width)}| "
+            + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def series_grid(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    height: int = 10,
+    title: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Render several series over a shared x-axis as a character grid.
+
+    Each series gets a distinct marker; higher rows are higher values.
+    ``log_scale`` plots log10(value) (useful for ARE curves spanning
+    orders of magnitude; non-positive values clamp to the axis floor).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_labels)}:
+        raise ValueError("every series must match the x-axis length")
+
+    def transform(v: float) -> float:
+        if not log_scale:
+            return v
+        return math.log10(v) if v > 0 else float("-inf")
+
+    finite = [
+        transform(v)
+        for values in series.values()
+        for v in values
+        if transform(v) != float("-inf")
+    ]
+    if not finite:
+        raise ValueError("no finite values to plot")
+    low, high = min(finite), max(finite)
+    span = (high - low) or 1.0
+
+    markers = "ox+*#@%&"
+    grid = [[" "] * len(x_labels) for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for col, value in enumerate(values):
+            t = transform(value)
+            if t == float("-inf"):
+                row = height - 1
+            else:
+                row = height - 1 - round((t - low) / span * (height - 1))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+            elif grid[row][col] != marker:
+                grid[row][col] = "*"  # overlap
+
+    lines = [title] if title else []
+    axis_note = " (log10)" if log_scale else ""
+    lines.append(f"high {high:g}{axis_note}")
+    lines.extend("  " + " ".join(row) for row in grid)
+    lines.append(f"low  {low:g}{axis_note}")
+    lines.append("  " + " ".join(str(x)[:1] for x in x_labels))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"x: {list(x_labels)}   {legend}")
+    return "\n".join(lines)

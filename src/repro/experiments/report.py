@@ -1,0 +1,33 @@
+"""Plain-text tables for benchmark output (the "figure series")."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row cell values (stringified).
+        title: Optional caption printed above the table.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

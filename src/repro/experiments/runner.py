@@ -1,0 +1,91 @@
+"""Run summaries over periodic streams and score them against the oracle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.metrics.accuracy import (
+    average_absolute_error,
+    average_relative_error,
+    precision,
+)
+from repro.streams.ground_truth import GroundTruth
+from repro.streams.model import PeriodicStream
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Accuracy of one summary on one workload."""
+
+    name: str
+    k: int
+    precision: float
+    are: float
+    aae: float
+
+    def row(self) -> "tuple[str, str, str, str]":
+        """The result formatted as table cells."""
+        return (
+            self.name,
+            f"{self.precision:.3f}",
+            f"{self.are:.3g}",
+            f"{self.aae:.3g}",
+        )
+
+
+def evaluate(
+    summary,
+    truth: GroundTruth,
+    k: int,
+    alpha: float,
+    beta: float,
+    name: str = "summary",
+) -> EvalResult:
+    """Score an already-populated summary against the exact oracle.
+
+    Precision follows the paper's definition |φ∩ψ|/k; ARE/AAE are computed
+    over the reported items against their *real* significance.
+    """
+    exact = truth.top_k_items(k, alpha, beta)
+    reported = summary.reported_pairs(k)
+
+    def true_sig(item: int) -> float:
+        return truth.significance(item, alpha, beta)
+
+    return EvalResult(
+        name=name,
+        k=k,
+        precision=precision((item for item, _ in reported), exact),
+        are=average_relative_error(reported, true_sig),
+        aae=average_absolute_error(reported, true_sig),
+    )
+
+
+def run_and_evaluate(
+    factories: Dict[str, Callable[[], object]],
+    stream: PeriodicStream,
+    k: int,
+    alpha: float,
+    beta: float,
+    truth: GroundTruth | None = None,
+) -> "list[EvalResult]":
+    """Build, run and score every summary in ``factories``.
+
+    Args:
+        factories: ``name -> zero-arg factory`` map; each factory builds a
+            fresh summary that the stream is then driven through.
+        stream: The workload.
+        k: Top-k size.
+        alpha: Frequency weight of the significance target.
+        beta: Persistency weight.
+        truth: Pre-computed oracle (recomputed when omitted — pass it when
+            sweeping many configurations over one stream).
+    """
+    truth = truth or GroundTruth(stream)
+    results = []
+    for name, factory in factories.items():
+        summary = factory()
+        stream.run(summary)
+        results.append(evaluate(summary, truth, k, alpha, beta, name=name))
+    return results

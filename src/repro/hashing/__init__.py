@@ -1,0 +1,26 @@
+"""Hash functions and seeded hash families.
+
+The paper hashes items with Bob Jenkins' hash ("Bob Hash").  This package
+provides a faithful pure-Python port of Jenkins' ``lookup3`` ``hashlittle``
+(:mod:`repro.hashing.bobhash`) together with a faster splitmix64-based seeded
+family (:mod:`repro.hashing.family`) that is the default in the hot paths.
+Both expose the same callable interface, so every data structure in this
+library is hash-agnostic.
+"""
+
+from repro.hashing.bobhash import BobHash, bob_hash
+from repro.hashing.family import (
+    HashFamily,
+    canonical_key,
+    fnv1a64,
+    splitmix64,
+)
+
+__all__ = [
+    "BobHash",
+    "bob_hash",
+    "HashFamily",
+    "canonical_key",
+    "fnv1a64",
+    "splitmix64",
+]

@@ -1,0 +1,11 @@
+"""Approximate membership structures.
+
+The standard Bloom filter is the per-period dedup substrate of the
+sketch→persistent adaptation (§II-B); the Space-Time Bloom Filter is PIE's
+per-period structure.
+"""
+
+from repro.membership.bloom import BloomFilter
+from repro.membership.stbf import CellState, SpaceTimeBloomFilter
+
+__all__ = ["BloomFilter", "SpaceTimeBloomFilter", "CellState"]

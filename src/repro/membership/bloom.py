@@ -1,0 +1,111 @@
+"""Standard Bloom filter (Bloom 1970).
+
+Used by the sketch-based persistent-items adaptation to answer "has this
+item already appeared in the current period?" with no false negatives.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hashing.family import HashFamily
+from repro.metrics.memory import MemoryBudget
+
+
+class BloomFilter:
+    """A clearable Bloom filter over integer keys.
+
+    Args:
+        num_bits: Size of the bit array.
+        num_hashes: Number of hash functions; if omitted it is chosen as
+            ``max(1, round(ln2 · m/n))`` for the expected load, defaulting
+            to 3 when no expectation is given.
+        expected_items: Optional expected insert count per epoch, used only
+            to pick ``num_hashes``.
+        seed: Hash-family seed.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        num_hashes: int | None = None,
+        expected_items: int | None = None,
+        seed: int = 0xB100,
+    ):
+        if num_bits < 1:
+            raise ValueError("num_bits must be >= 1")
+        if num_hashes is None:
+            if expected_items:
+                num_hashes = max(1, round(math.log(2) * num_bits / expected_items))
+            else:
+                num_hashes = 3
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._family = HashFamily(seed)
+        self._hashes = [self._family.member(i) for i in range(num_hashes)]
+        self._bits = bytearray((num_bits + 7) // 8)
+        self._inserted = 0
+
+    @classmethod
+    def from_memory(
+        cls, budget: MemoryBudget, expected_items: int | None = None, seed: int = 0xB100
+    ) -> "BloomFilter":
+        """Build a filter occupying the whole byte budget."""
+        return cls(budget.bloom_bits(), expected_items=expected_items, seed=seed)
+
+    def insert(self, key: int) -> None:
+        """Set ``key``'s bits."""
+        bits = self._bits
+        m = self.num_bits
+        for h in self._hashes:
+            idx = h(key) % m
+            bits[idx >> 3] |= 1 << (idx & 7)
+        self._inserted += 1
+
+    def __contains__(self, key: int) -> bool:
+        bits = self._bits
+        m = self.num_bits
+        for h in self._hashes:
+            idx = h(key) % m
+            if not bits[idx >> 3] & (1 << (idx & 7)):
+                return False
+        return True
+
+    def insert_if_absent(self, key: int) -> bool:
+        """Insert ``key``; returns True iff it was (probably) absent.
+
+        Single-pass variant used on the hot path of the persistent
+        adaptations: one round of hashing for both test and set.
+        """
+        bits = self._bits
+        m = self.num_bits
+        absent = False
+        for h in self._hashes:
+            idx = h(key) % m
+            mask = 1 << (idx & 7)
+            if not bits[idx >> 3] & mask:
+                absent = True
+                bits[idx >> 3] |= mask
+        if absent:
+            self._inserted += 1
+        return absent
+
+    def clear(self) -> None:
+        """Reset all bits (called at period boundaries)."""
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+        self._inserted = 0
+
+    def estimated_fpp(self) -> float:
+        """Estimated false-positive probability at the current load."""
+        k, m, n = self.num_hashes, self.num_bits, self._inserted
+        if n == 0:
+            return 0.0
+        return (1.0 - math.exp(-k * n / m)) ** k
+
+    @property
+    def bits_set(self) -> int:
+        """Number of set bits (diagnostics)."""
+        return sum(bin(b).count("1") for b in self._bits)

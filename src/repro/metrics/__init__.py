@@ -1,0 +1,28 @@
+"""Evaluation metrics (paper §V-A) and the shared memory model."""
+
+from repro.metrics.accuracy import (
+    average_absolute_error,
+    average_relative_error,
+    precision,
+    recall,
+)
+from repro.metrics.memory import (
+    BYTES_PER_COUNTER,
+    BYTES_PER_KEY,
+    MemoryBudget,
+    kb,
+)
+from repro.metrics.throughput import measure_query_throughput, measure_throughput
+
+__all__ = [
+    "precision",
+    "recall",
+    "average_relative_error",
+    "average_absolute_error",
+    "MemoryBudget",
+    "BYTES_PER_KEY",
+    "BYTES_PER_COUNTER",
+    "kb",
+    "measure_throughput",
+    "measure_query_throughput",
+]

@@ -1,0 +1,73 @@
+"""Accuracy metrics from the paper's §V-A.
+
+Given the exact top-k set φ and a reported set ψ with estimated
+significances ŝ, the paper measures
+
+* **precision** ``|φ ∩ ψ| / k``, and
+* **ARE** (average relative error) ``(1/k) Σ |s_i − ŝ_i| / s_i`` over the
+  *reported* items, where ``s_i`` is the item's real significance.
+
+AAE is also provided (the paper computes it but omits it from plots because
+it scales with α, β).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple
+
+
+def precision(reported: Iterable[int], exact: Set[int]) -> float:
+    """Fraction of the exact top-k contained in the reported set.
+
+    Args:
+        reported: Reported item ids (the paper's ψ).
+        exact: Exact top-k item set (the paper's φ).
+    """
+    reported_set = set(reported)
+    if not exact:
+        return 1.0
+    return len(reported_set & exact) / len(exact)
+
+
+def recall(reported: Iterable[int], exact: Set[int]) -> float:
+    """Alias of :func:`precision` when ``|ψ| = |φ| = k`` (kept for clarity
+    in experiments where the reported set may be smaller than k)."""
+    return precision(reported, exact)
+
+
+def average_relative_error(
+    reported: Sequence[Tuple[int, float]],
+    true_significance,
+) -> float:
+    """ARE of the reported significances against the truth.
+
+    Args:
+        reported: ``(item, estimated_significance)`` pairs.
+        true_significance: Callable ``item -> float`` giving the real value.
+
+    Items whose true significance is zero (never-seen items that a sloppy
+    summary may report) contribute their full estimate as relative error 1
+    plus the estimate magnitude is ignored — we count them as error 1.0,
+    the most conservative bounded choice.
+    """
+    if not reported:
+        return 0.0
+    total = 0.0
+    for item, estimate in reported:
+        real = true_significance(item)
+        if real == 0:
+            total += 1.0
+        else:
+            total += abs(real - estimate) / real
+    return total / len(reported)
+
+
+def average_absolute_error(
+    reported: Sequence[Tuple[int, float]],
+    true_significance,
+) -> float:
+    """AAE of the reported significances against the truth."""
+    if not reported:
+        return 0.0
+    total = sum(abs(true_significance(item) - est) for item, est in reported)
+    return total / len(reported)

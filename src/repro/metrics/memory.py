@@ -1,0 +1,110 @@
+"""The shared memory model used for head-to-head comparisons.
+
+The paper gives every algorithm the same memory budget (§V-C) and derives
+each structure's cell count from it.  This module centralises the byte
+accounting so all summaries and all benchmarks size themselves identically:
+
+===========================  =====================================  ======
+structure                    cell layout                            bytes
+===========================  =====================================  ======
+LTC cell                     4B key + 4B freq + 4B persist./flags     12
+counter summary cell (SS,    4B key + 4B counter                       8
+Lossy Counting, Frequent)
+sketch counter               4B                                        4
+top-k heap entry             4B key + 4B value                         8
+Bloom filter                 1 bit per bit                             —
+STBF cell (PIE)              12-bit fingerprint + 16-bit symbol +       4
+                             2 flag bits, padded
+===========================  =====================================  ======
+
+Pointer overheads of the C++ structures (Stream-Summary links, heap
+indices) are excluded on both sides, matching the paper's accounting
+granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BYTES_PER_KEY = 4
+BYTES_PER_COUNTER = 4
+
+LTC_CELL_BYTES = BYTES_PER_KEY + 2 * BYTES_PER_COUNTER  # 12
+COUNTER_CELL_BYTES = BYTES_PER_KEY + BYTES_PER_COUNTER  # 8
+SKETCH_COUNTER_BYTES = BYTES_PER_COUNTER  # 4
+HEAP_ENTRY_BYTES = BYTES_PER_KEY + BYTES_PER_COUNTER  # 8
+STBF_CELL_BYTES = 4
+
+
+def kb(n: float) -> int:
+    """Convert kilobytes to bytes (1 KB = 1024 B, as in the paper)."""
+    return int(n * 1024)
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A memory budget in bytes with the sizing rules of §V-C.
+
+    Every summary constructor in this library accepts explicit structural
+    parameters; the class methods here translate a byte budget into those
+    parameters exactly the way the paper's experiment setup does.
+    """
+
+    total_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+
+    # ------------------------------------------------------------------ LTC
+    def ltc_buckets(self, d: int) -> int:
+        """Number of LTC buckets ``w`` for bucket width ``d``."""
+        cells = self.total_bytes // LTC_CELL_BYTES
+        return max(1, cells // d)
+
+    # ------------------------------------------------- counter-based top-k
+    def counter_cells(self) -> int:
+        """Cell count for Space-Saving / Lossy Counting / Frequent."""
+        return max(1, self.total_bytes // COUNTER_CELL_BYTES)
+
+    # ------------------------------------------------------------ sketches
+    def sketch_width(self, rows: int, heap_k: int) -> int:
+        """Per-row counter count for a sketch + top-k heap (frequent mode).
+
+        The heap holds ``heap_k`` entries; the remaining budget is split
+        across ``rows`` equal-width counter arrays (the paper uses 3).
+        """
+        remaining = self.total_bytes - heap_k * HEAP_ENTRY_BYTES
+        counters = max(rows, remaining // SKETCH_COUNTER_BYTES)
+        return max(1, counters // rows)
+
+    def split(self, *fractions: float) -> "list[MemoryBudget]":
+        """Split the budget into sub-budgets by the given fractions."""
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise ValueError("fractions must sum to 1")
+        return [
+            MemoryBudget(max(1, int(self.total_bytes * f))) for f in fractions
+        ]
+
+    def halves(self) -> "tuple[MemoryBudget, MemoryBudget]":
+        """Even split (used for BF+sketch and the two-structure baseline)."""
+        first, second = self.split(0.5, 0.5)
+        return first, second
+
+    # ------------------------------------------------------- Bloom filters
+    def bloom_bits(self) -> int:
+        """Bit count for a Bloom filter occupying the whole budget."""
+        return max(8, self.total_bytes * 8)
+
+    # ----------------------------------------------------------------- PIE
+    def stbf_cells(self) -> int:
+        """STBF cell count for a budget dedicated to one period's filter."""
+        return max(1, self.total_bytes // STBF_CELL_BYTES)
+
+    def __mul__(self, factor: float) -> "MemoryBudget":
+        return MemoryBudget(max(1, int(self.total_bytes * factor)))
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        return f"{self.total_bytes / 1024:g}KB"

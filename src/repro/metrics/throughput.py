@@ -1,0 +1,83 @@
+"""Insertion-throughput measurement.
+
+The paper reports million-insertions-per-second on a C++/Xeon testbed; the
+absolute numbers here are Python-scale, so benchmarks report *relative*
+throughput between algorithms (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.streams.model import PeriodicStream
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Throughput of one summary over one stream."""
+
+    name: str
+    events: int
+    seconds: float
+
+    @property
+    def mops(self) -> float:
+        """Million insertions per second."""
+        if self.seconds <= 0:
+            return float("inf")
+        return self.events / self.seconds / 1e6
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mops:.3f} Mops ({self.events} events)"
+
+
+def measure_query_throughput(
+    summary,
+    items,
+    name: str = "summary",
+    repeats: int = 1,
+) -> ThroughputResult:
+    """Measure point-query throughput of an already-populated summary.
+
+    Args:
+        summary: Populated summary exposing ``query(item)``.
+        items: The keys to probe (a mix of present and absent keys gives
+            the most representative number).
+        name: Label for the result.
+        repeats: Fastest of N passes is reported.
+    """
+    items = list(items)
+    query = summary.query
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for item in items:
+            query(item)
+        best = min(best, time.perf_counter() - start)
+    return ThroughputResult(name=name, events=len(items), seconds=best)
+
+
+def measure_throughput(
+    factory,
+    stream: PeriodicStream,
+    name: str = "summary",
+    repeats: int = 1,
+) -> ThroughputResult:
+    """Measure end-to-end insertion throughput of a summary.
+
+    Args:
+        factory: Zero-argument callable building a fresh summary.
+        stream: The workload, driven through ``PeriodicStream.run``.
+        name: Label for the result.
+        repeats: Number of fresh runs; the fastest is reported (standard
+            practice to suppress scheduler noise).
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        summary = factory()
+        start = time.perf_counter()
+        stream.run(summary)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return ThroughputResult(name=name, events=len(stream), seconds=best)

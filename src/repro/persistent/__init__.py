@@ -1,0 +1,18 @@
+"""Persistent-items baselines (paper §II-B).
+
+PIE — the state of the art the paper compares against — plus the
+sketch-based adaptation (per-period Bloom filter + sketch + top-k heap)
+the paper constructs for the comparison.
+"""
+
+from repro.persistent.pie import PIE
+from repro.persistent.sketch_persistent import SketchPersistent
+from repro.persistent.small_space import SmallSpacePersistent
+from repro.persistent.ss_persistent import SpaceSavingPersistent
+
+__all__ = [
+    "PIE",
+    "SketchPersistent",
+    "SmallSpacePersistent",
+    "SpaceSavingPersistent",
+]

@@ -1,0 +1,74 @@
+"""Sketch-based persistent-items adaptation (paper §II-B).
+
+"The thorniest problem is that some items might appear more than once in
+one period … we maintain a standard Bloom filter to record whether it has
+appeared in the current period.  We also need to maintain a min-heap to
+assist in finding top-k persistent items."
+
+Memory split (paper §V-C): half the budget to the Bloom filter, the rest
+to sketch + heap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.membership.bloom import BloomFilter
+from repro.metrics.memory import MemoryBudget
+from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.heap import TopKHeap
+
+
+class SketchPersistent(StreamSummary):
+    """Top-k persistent items via per-period BF dedup + sketch + heap.
+
+    Args:
+        sketch: Any point-query sketch (CM, CU or Count sketch); it counts
+            *period-first appearances*, i.e. persistency.
+        bloom: Per-period dedup filter; cleared at every boundary.
+        k: Heap capacity.
+    """
+
+    def __init__(self, sketch, bloom: BloomFilter, k: int):
+        self.sketch = sketch
+        self.bloom = bloom
+        self.heap = TopKHeap(k)
+
+    @classmethod
+    def from_memory(
+        cls,
+        sketch_cls,
+        budget: MemoryBudget,
+        k: int,
+        rows: int = 3,
+        expected_per_period: int | None = None,
+        seed: int = 0x5EED,
+    ) -> "SketchPersistent":
+        """Paper sizing: 50% Bloom filter, 50% sketch + heap."""
+        bloom_budget, sketch_budget = budget.halves()
+        bloom = BloomFilter.from_memory(
+            bloom_budget, expected_items=expected_per_period, seed=seed ^ 0xBF
+        )
+        sketch = sketch_cls.from_memory(sketch_budget, rows=rows, heap_k=k, seed=seed)
+        return cls(sketch, bloom, k)
+
+    def insert(self, item: int) -> None:
+        """Process one arrival of ``item``."""
+        if self.bloom.insert_if_absent(item):
+            estimate = self.sketch.update_and_query(item)
+            self.heap.offer(item, float(estimate))
+
+    def end_period(self) -> None:
+        """React to a period boundary."""
+        self.bloom.clear()
+
+    def query(self, item: int) -> float:
+        """Estimated persistency of ``item``."""
+        return float(self.sketch.query(item))
+
+    def top_k(self, k: int) -> List[ItemReport]:
+        """Report up to the k items with the largest estimates."""
+        return [
+            ItemReport(item=item, significance=value, persistency=value)
+            for item, value in self.heap.best(k)
+        ]

@@ -1,0 +1,25 @@
+"""Sketch-based frequency estimators (paper §II-A baselines).
+
+Count-Min ("CM"), CU (Count-Min with conservative update) and the Count
+sketch, plus :class:`repro.sketches.topk.SketchTopK`, which pairs any of
+them with a top-k min-heap the way the paper's sketch baselines do.
+"""
+
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.cu import CUSketch
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.topk import SketchTopK
+
+SKETCH_CLASSES = {
+    "cm": CountMinSketch,
+    "cu": CUSketch,
+    "count": CountSketch,
+}
+
+__all__ = [
+    "CountMinSketch",
+    "CUSketch",
+    "CountSketch",
+    "SketchTopK",
+    "SKETCH_CLASSES",
+]

@@ -1,0 +1,71 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005) — paper baseline "CM".
+
+``rows`` equal-width counter arrays with independent hash functions.  An
+update increments one counter per row; a point query returns the minimum of
+the mapped counters, which never underestimates the true count.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.hashing.family import HashFamily
+from repro.metrics.memory import MemoryBudget
+
+
+class CountMinSketch:
+    """Count-Min sketch over non-negative integer updates.
+
+    Args:
+        width: Counters per row.
+        rows: Number of rows (the paper uses 3).
+        seed: Hash-family seed.
+    """
+
+    def __init__(self, width: int, rows: int = 3, seed: int = 0x5EED):
+        if width < 1 or rows < 1:
+            raise ValueError("width and rows must be >= 1")
+        self.width = width
+        self.rows = rows
+        self._family = HashFamily(seed)
+        self._tables = [array("q", [0]) * width for _ in range(rows)]
+        # Bind the row hash callables once; saves a dict lookup per update.
+        self._hashes = [self._family.member(i) for i in range(rows)]
+
+    @classmethod
+    def from_memory(
+        cls, budget: MemoryBudget, rows: int = 3, heap_k: int = 0, seed: int = 0x5EED
+    ) -> "CountMinSketch":
+        """Size the sketch for a byte budget, reserving a k-entry heap."""
+        return cls(width=budget.sketch_width(rows, heap_k), rows=rows, seed=seed)
+
+    def update(self, key: int, delta: int = 1) -> None:
+        """Add ``delta`` to ``key``'s counters."""
+        width = self.width
+        for table, h in zip(self._tables, self._hashes):
+            table[h(key) % width] += delta
+
+    def query(self, key: int) -> int:
+        """Point-estimate ``key``'s count (never an underestimate)."""
+        width = self.width
+        return min(
+            table[h(key) % width]
+            for table, h in zip(self._tables, self._hashes)
+        )
+
+    def update_and_query(self, key: int, delta: int = 1) -> int:
+        """Single-pass update returning the fresh estimate (heap wrappers)."""
+        width = self.width
+        estimate = None
+        for table, h in zip(self._tables, self._hashes):
+            slot = h(key) % width
+            table[slot] += delta
+            value = table[slot]
+            if estimate is None or value < estimate:
+                estimate = value
+        return estimate if estimate is not None else 0
+
+    @property
+    def total_counters(self) -> int:
+        """Total number of counters in the sketch."""
+        return self.width * self.rows

@@ -1,0 +1,71 @@
+"""Count sketch (Charikar, Chen, Farach-Colton 2002) — baseline "Count".
+
+Each row pairs a bucket hash with an independent ±1 sign hash; a query
+returns the *median* of the signed counters.  Unlike CM/CU the estimate is
+unbiased but two-sided (it can underestimate).
+"""
+
+from __future__ import annotations
+
+import statistics
+from array import array
+
+from repro.hashing.family import HashFamily
+from repro.metrics.memory import MemoryBudget
+
+
+class CountSketch:
+    """Count sketch with median estimation.
+
+    Args:
+        width: Counters per row.
+        rows: Number of rows; odd values give a true median (paper uses 3).
+        seed: Hash-family seed.
+    """
+
+    def __init__(self, width: int, rows: int = 3, seed: int = 0xC0DE):
+        if width < 1 or rows < 1:
+            raise ValueError("width and rows must be >= 1")
+        self.width = width
+        self.rows = rows
+        family = HashFamily(seed)
+        self._tables = [array("q", [0]) * width for _ in range(rows)]
+        self._bucket_hashes = [family.member(2 * i) for i in range(rows)]
+        self._sign_hashes = [family.member(2 * i + 1) for i in range(rows)]
+
+    @classmethod
+    def from_memory(
+        cls, budget: MemoryBudget, rows: int = 3, heap_k: int = 0, seed: int = 0xC0DE
+    ) -> "CountSketch":
+        """Size the sketch for a byte budget, reserving a k-entry heap."""
+        return cls(width=budget.sketch_width(rows, heap_k), rows=rows, seed=seed)
+
+    def update(self, key: int, delta: int = 1) -> None:
+        """Add ``delta`` to ``key`` (signed per row)."""
+        width = self.width
+        for table, bh, sh in zip(
+            self._tables, self._bucket_hashes, self._sign_hashes
+        ):
+            sign = 1 if sh(key) & 1 else -1
+            table[bh(key) % width] += sign * delta
+
+    def query(self, key: int) -> int:
+        """Median-of-signed-counters point estimate (can be negative)."""
+        width = self.width
+        estimates = [
+            (1 if sh(key) & 1 else -1) * table[bh(key) % width]
+            for table, bh, sh in zip(
+                self._tables, self._bucket_hashes, self._sign_hashes
+            )
+        ]
+        return int(statistics.median(estimates))
+
+    def update_and_query(self, key: int, delta: int = 1) -> int:
+        """Single-pass update returning the fresh estimate."""
+        self.update(key, delta)
+        return self.query(key)
+
+    @property
+    def total_counters(self) -> int:
+        """Total number of counters in the sketch."""
+        return self.width * self.rows

@@ -1,0 +1,53 @@
+"""Sketch + min-heap top-k frequent items (the paper's sketch baselines).
+
+"To report top-k frequent items, it needs to maintain a min-heap to record
+and update top-k frequent items" (§II-A).  On every arrival the sketch is
+updated, the fresh estimate is read back, and the heap is offered the
+``(item, estimate)`` pair.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrics.memory import MemoryBudget
+from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.heap import TopKHeap
+
+
+class SketchTopK(StreamSummary):
+    """Top-k frequent items via any point-query sketch plus a heap.
+
+    Args:
+        sketch: Object with ``update_and_query(key) -> int`` and
+            ``query(key) -> int`` (CM, CU or Count sketch).
+        k: Heap capacity — the number of items reported.
+    """
+
+    def __init__(self, sketch, k: int):
+        self.sketch = sketch
+        self.heap = TopKHeap(k)
+
+    @classmethod
+    def from_memory(
+        cls, sketch_cls, budget: MemoryBudget, k: int, rows: int = 3, seed: int = 0x5EED
+    ) -> "SketchTopK":
+        """Paper sizing: heap of k entries, remaining bytes to the sketch."""
+        sketch = sketch_cls.from_memory(budget, rows=rows, heap_k=k, seed=seed)
+        return cls(sketch, k)
+
+    def insert(self, item: int) -> None:
+        """Process one arrival of ``item``."""
+        estimate = self.sketch.update_and_query(item)
+        self.heap.offer(item, float(estimate))
+
+    def query(self, item: int) -> float:
+        """Estimate the summary's ranking quantity for ``item``."""
+        return float(self.sketch.query(item))
+
+    def top_k(self, k: int) -> List[ItemReport]:
+        """Report up to the k items with the largest estimates."""
+        return [
+            ItemReport(item=item, significance=value, frequency=value)
+            for item, value in self.heap.best(k)
+        ]

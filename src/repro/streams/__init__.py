@@ -1,0 +1,50 @@
+"""Data-stream model, synthetic workload generators and the exact oracle.
+
+The paper evaluates on three real traces (Social, Network, CAIDA).  Those
+traces are not redistributable; :mod:`repro.streams.datasets` builds
+synthetic equivalents with matched statistical structure (Zipfian item
+frequencies plus per-dataset temporal behaviour) — see DESIGN.md §3 for the
+substitution rationale.
+"""
+
+from repro.streams.model import PeriodicStream, StreamStats
+from repro.streams.synthetic import zipf_frequencies, zipf_stream
+from repro.streams.adversarial import (
+    boundary_straddler,
+    distinct_flood,
+    grinder,
+)
+from repro.streams.datasets import (
+    caida_like,
+    network_like,
+    social_like,
+    temporal_zipf_stream,
+)
+from repro.streams.ground_truth import GroundTruth
+from repro.streams.io import (
+    TimeBinnedStream,
+    dump_items,
+    load_items,
+    load_timestamped,
+    loads_items,
+)
+
+__all__ = [
+    "TimeBinnedStream",
+    "load_items",
+    "load_timestamped",
+    "loads_items",
+    "dump_items",
+    "PeriodicStream",
+    "StreamStats",
+    "zipf_frequencies",
+    "zipf_stream",
+    "caida_like",
+    "network_like",
+    "social_like",
+    "temporal_zipf_stream",
+    "distinct_flood",
+    "grinder",
+    "boundary_straddler",
+    "GroundTruth",
+]

@@ -1,0 +1,111 @@
+"""Adversarial workload generators (robustness evaluation; extension).
+
+The paper evaluates on benign long-tail traces.  A production deployment
+also faces pathological input — sometimes crafted (an attacker who knows
+the summary's structure), sometimes emergent (scan traffic).  These
+generators implement the classic stress patterns for counter-based
+summaries:
+
+* :func:`distinct_flood` — a one-hit-wonder flood around a small core of
+  genuinely significant items: maximises Significance-Decrementing
+  pressure (every flood packet decrements some incumbent);
+* :func:`grinder` — alternates a burst of fresh distinct items with a
+  single target's arrivals, trying to grind the target's cell to zero
+  between its own arrivals;
+* :func:`boundary_straddler` — items that arrive only in the instants
+  around period boundaries, the worst case for the basic one-flag CLOCK
+  (the deviation of paper Fig. 4) and a no-op for the Deviation
+  Eliminator.
+
+All generators return ordinary :class:`~repro.streams.model.PeriodicStream`
+objects, so every summary and the whole experiment harness run on them
+unchanged (see ``benchmarks/bench_ext_adversarial.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.streams.model import PeriodicStream
+
+
+def distinct_flood(
+    num_periods: int = 40,
+    core_items: int = 50,
+    core_per_period: int = 5,
+    flood_per_period: int = 1_000,
+    seed: int = 0xF100D,
+) -> PeriodicStream:
+    """A small persistent core buried in a flood of one-hit wonders.
+
+    Every flood arrival is a miss for every summary, so the eviction /
+    decrement machinery runs at full pressure while the signal items
+    supply only ``core_per_period`` arrivals each per period.
+    """
+    rng = random.Random(seed)
+    core = [rng.getrandbits(32) for _ in range(core_items)]
+    events: List[int] = []
+    for _ in range(num_periods):
+        block = []
+        for item in core:
+            block += [item] * core_per_period
+        block += [rng.getrandbits(32) for _ in range(flood_per_period)]
+        rng.shuffle(block)
+        events += block
+    return PeriodicStream(
+        events=events, num_periods=num_periods, name="adversarial-flood"
+    )
+
+
+def grinder(
+    num_periods: int = 40,
+    targets: int = 20,
+    grind_burst: int = 30,
+    seed: int = 0x62D,
+) -> PeriodicStream:
+    """Fresh-distinct bursts interleaved between each target arrival.
+
+    The attacker tries to decrement a target's cell to zero before its
+    next arrival restores it — the direct assault on Significance
+    Decrementing.  Long-tail Replacement is the designed defence: even
+    when a grind succeeds, the target re-enters near its old value.
+    """
+    rng = random.Random(seed)
+    target_ids = [rng.getrandbits(32) for _ in range(targets)]
+    events: List[int] = []
+    for _ in range(num_periods):
+        block: List[int] = []
+        for target in target_ids:
+            block.append(target)
+            block += [rng.getrandbits(32) for _ in range(grind_burst)]
+        events += block  # deliberately unshuffled: maximal grind locality
+    return PeriodicStream(
+        events=events, num_periods=num_periods, name="adversarial-grinder"
+    )
+
+
+def boundary_straddler(
+    num_periods: int = 40,
+    stradlers: int = 30,
+    filler_per_period: int = 200,
+    seed: int = 0x5712,
+) -> PeriodicStream:
+    """Items arriving at the very end AND very start of adjacent periods.
+
+    True persistency counts both periods; the basic one-flag CLOCK can
+    double-harvest within one period or miss across the boundary
+    depending on pointer phase — the deviation the two-flag version
+    eliminates exactly.
+    """
+    rng = random.Random(seed)
+    ids = [rng.getrandbits(32) for _ in range(stradlers)]
+    periods: List[List[int]] = []
+    for p in range(num_periods):
+        filler = [rng.getrandbits(32) for _ in range(filler_per_period)]
+        block = list(ids) + filler + list(ids)  # start and end of period
+        periods.append(block)
+    events = [item for block in periods for item in block]
+    return PeriodicStream(
+        events=events, num_periods=num_periods, name="adversarial-straddler"
+    )

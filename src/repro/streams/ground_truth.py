@@ -1,0 +1,74 @@
+"""Exact frequency/persistency/significance oracle.
+
+Every accuracy experiment compares an approximate summary against the exact
+answer.  :class:`GroundTruth` makes one pass over a stream and records, for
+each distinct item, the exact frequency and the exact set-of-periods
+persistency, then answers top-k significance queries for any ``(α, β)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.streams.model import PeriodicStream
+
+
+class GroundTruth:
+    """Exact per-item statistics of a periodic stream."""
+
+    def __init__(self, stream: PeriodicStream):
+        freq: Dict[int, int] = {}
+        pers: Dict[int, int] = {}
+        seen_this_period: set = set()
+        for period in stream.iter_periods():
+            seen_this_period.clear()
+            for item in period:
+                freq[item] = freq.get(item, 0) + 1
+                if item not in seen_this_period:
+                    seen_this_period.add(item)
+                    pers[item] = pers.get(item, 0) + 1
+        self._freq = freq
+        self._pers = pers
+        self.num_events = len(stream)
+        self.num_periods = stream.num_periods
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct items seen."""
+        return len(self._freq)
+
+    def frequency(self, item: int) -> int:
+        """Exact number of appearances of ``item`` (0 if never seen)."""
+        return self._freq.get(item, 0)
+
+    def persistency(self, item: int) -> int:
+        """Exact number of periods in which ``item`` appeared."""
+        return self._pers.get(item, 0)
+
+    def significance(self, item: int, alpha: float, beta: float) -> float:
+        """Exact significance ``α·f + β·p`` of ``item``."""
+        return alpha * self.frequency(item) + beta * self.persistency(item)
+
+    def items(self) -> List[int]:
+        """All distinct items, in arbitrary order."""
+        return list(self._freq)
+
+    def top_k(self, k: int, alpha: float, beta: float) -> List[Tuple[int, float]]:
+        """Exact top-k significant items as ``(item, significance)`` pairs.
+
+        Ties are broken by item id so the answer is deterministic.
+        """
+        scored = [
+            (alpha * f + beta * self._pers[item], item)
+            for item, f in self._freq.items()
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [(item, sig) for sig, item in scored[:k]]
+
+    def top_k_items(self, k: int, alpha: float, beta: float) -> set:
+        """The exact top-k item set (the paper's φ)."""
+        return {item for item, _ in self.top_k(k, alpha, beta)}
+
+    def frequencies_sorted(self) -> List[int]:
+        """All exact frequencies, descending (for distribution plots)."""
+        return sorted(self._freq.values(), reverse=True)

@@ -1,0 +1,85 @@
+"""Zipfian synthetic stream generation.
+
+Item frequencies in the paper's real traces follow a long-tail (Zipfian)
+distribution — the property Long-tail Replacement relies on (paper §III-D,
+Fig. 6).  This module produces streams with exactly-controlled Zipf shape:
+the frequency of the rank-``i`` item is proportional to ``1 / i**skew``,
+normalised to the requested number of events with largest-remainder
+rounding so totals are exact and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.streams.model import PeriodicStream
+
+
+def zipf_frequencies(num_events: int, num_distinct: int, skew: float) -> List[int]:
+    """Return exact per-rank frequencies for a Zipf(``skew``) population.
+
+    The result sums to ``num_events``; rank 0 is the most frequent item.
+    Ranks whose rounded share is zero are dropped, so the returned list may
+    be shorter than ``num_distinct``.
+    """
+    if num_events < 1:
+        raise ValueError("num_events must be >= 1")
+    if num_distinct < 1:
+        raise ValueError("num_distinct must be >= 1")
+    weights = [1.0 / (i + 1) ** skew for i in range(num_distinct)]
+    total = sum(weights)
+    raw = [num_events * w / total for w in weights]
+    freqs = [int(x) for x in raw]
+    remainder = num_events - sum(freqs)
+    # Largest-remainder apportionment keeps the tail shape and the total exact.
+    by_frac = sorted(range(len(raw)), key=lambda i: raw[i] - freqs[i], reverse=True)
+    for i in by_frac[:remainder]:
+        freqs[i] += 1
+    return [f for f in freqs if f > 0]
+
+
+def zipf_stream(
+    num_events: int,
+    num_distinct: int,
+    skew: float = 1.0,
+    num_periods: int = 100,
+    seed: int = 1,
+    name: str | None = None,
+) -> PeriodicStream:
+    """Generate a temporally-uniform Zipfian stream.
+
+    Each item's arrivals are scattered uniformly over the stream (a random
+    permutation of the multiset), which makes frequent items persistent as
+    well — the regime of the paper's CAIDA trace.  Item ids are drawn from a
+    shuffled 32-bit space so that hash-bucket placement is unbiased.
+
+    Args:
+        num_events: Total arrivals ``N``.
+        num_distinct: Target distinct item count ``M`` (may shrink; see
+            :func:`zipf_frequencies`).
+        skew: Zipf exponent ``γ``.
+        num_periods: Number of equal periods ``T``.
+        seed: RNG seed; equal seeds give identical streams.
+        name: Label for reports; defaults to ``zipf-γ<skew>``.
+    """
+    rng = random.Random(seed)
+    freqs = zipf_frequencies(num_events, num_distinct, skew)
+    ids = _random_ids(len(freqs), rng)
+    events: List[int] = []
+    for item_id, f in zip(ids, freqs):
+        events.extend([item_id] * f)
+    rng.shuffle(events)
+    return PeriodicStream(
+        events=events,
+        num_periods=num_periods,
+        name=name or f"zipf-g{skew:g}",
+    )
+
+
+def _random_ids(count: int, rng: random.Random) -> List[int]:
+    """Draw ``count`` distinct ids from the 32-bit space."""
+    ids = set()
+    while len(ids) < count:
+        ids.add(rng.getrandbits(32))
+    return list(ids)

@@ -1,0 +1,24 @@
+"""Counter-based frequent-item summaries (paper §II-A baselines).
+
+All summaries speak the same protocol (:class:`repro.summaries.base.StreamSummary`):
+``insert(item)``, optional ``end_period()`` / ``finalize()``, ``query(item)``
+and ``top_k(k)``, which is what :meth:`repro.streams.PeriodicStream.run`
+drives and what the experiment harness evaluates.
+"""
+
+from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.heap import TopKHeap
+from repro.summaries.stream_summary import StreamSummaryList
+from repro.summaries.space_saving import SpaceSaving
+from repro.summaries.lossy_counting import LossyCounting
+from repro.summaries.frequent import Frequent
+
+__all__ = [
+    "StreamSummary",
+    "ItemReport",
+    "TopKHeap",
+    "StreamSummaryList",
+    "SpaceSaving",
+    "LossyCounting",
+    "Frequent",
+]

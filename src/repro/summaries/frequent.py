@@ -1,0 +1,66 @@
+"""Frequent / Misra–Gries (1982) — paper baseline "Frequent".
+
+Keeps at most ``capacity`` counters.  A miss on a full table decrements
+*every* counter and evicts the zeros — the classic deterministic heavy-
+hitter guarantee ``f̂ ≥ f − N/(capacity+1)``.  Although the decrement-all
+touches every counter, each unit removed was added by exactly one earlier
+insertion, so the amortised cost per arrival is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.memory import MemoryBudget
+from repro.summaries.base import ItemReport, StreamSummary
+
+
+class Frequent(StreamSummary):
+    """Misra–Gries summary over at most ``capacity`` counters."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._counters: Dict[int, int] = {}  # item -> estimate (no offset)
+        self.decrements = 0  # total global decrements (for the MG bound)
+
+    @classmethod
+    def from_memory(cls, budget: MemoryBudget) -> "Frequent":
+        """Size the summary for a byte budget (8 bytes per cell)."""
+        return cls(capacity=budget.counter_cells())
+
+    def insert(self, item: int) -> None:
+        """Process one arrival of ``item``."""
+        counters = self._counters
+        if item in counters:
+            counters[item] += 1
+            return
+        if len(counters) < self.capacity:
+            counters[item] = 1
+            return
+        # Decrement-all; purge zeros.  Amortised O(1): each unit of count
+        # removed here was added by exactly one earlier insertion.
+        self.decrements += 1
+        dead = []
+        for key in counters:
+            counters[key] -= 1
+            if counters[key] == 0:
+                dead.append(key)
+        for key in dead:
+            del counters[key]
+
+    def query(self, item: int) -> float:
+        """Estimate the summary's ranking quantity for ``item``."""
+        return float(self._counters.get(item, 0))
+
+    def top_k(self, k: int) -> List[ItemReport]:
+        """Report up to the k items with the largest estimates."""
+        ranked = sorted(self._counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            ItemReport(item=item, significance=float(c), frequency=float(c))
+            for item, c in ranked[:k]
+        ]
+
+    def __len__(self) -> int:
+        return len(self._counters)

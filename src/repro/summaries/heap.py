@@ -1,0 +1,121 @@
+"""A bounded indexed min-heap for top-k tracking.
+
+Sketch-based top-k algorithms keep a min-heap of the k best items seen so
+far and need three operations fast: read the minimum, increase the value of
+an item already in the heap, and replace the minimum when a better item
+arrives.  A plain ``heapq`` cannot increase keys in place, so this is a
+classic array heap with a position map (item -> slot).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class TopKHeap:
+    """Min-heap over ``(value, item)`` bounded to ``capacity`` entries."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._values: List[float] = []
+        self._items: List[int] = []
+        self._pos: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._pos
+
+    def min_value(self) -> float:
+        """Smallest tracked value, or 0 when the heap is not yet full."""
+        if len(self._items) < self.capacity:
+            return 0.0
+        return self._values[0]
+
+    def value_of(self, item: int) -> float:
+        """Current value of ``item`` (0 when not tracked)."""
+        slot = self._pos.get(item)
+        return self._values[slot] if slot is not None else 0.0
+
+    def offer(self, item: int, value: float) -> None:
+        """Insert or update ``item`` with ``value``.
+
+        * tracked item: the stored value moves to ``value`` (up or down);
+        * untracked item, heap not full: inserted;
+        * untracked item, heap full: replaces the minimum iff
+          ``value > min_value()``.
+        """
+        slot = self._pos.get(item)
+        if slot is not None:
+            old = self._values[slot]
+            self._values[slot] = value
+            if value > old:
+                self._sift_down(slot)
+            elif value < old:
+                self._sift_up(slot)
+            return
+        if len(self._items) < self.capacity:
+            self._values.append(value)
+            self._items.append(item)
+            self._pos[item] = len(self._items) - 1
+            self._sift_up(len(self._items) - 1)
+            return
+        if value > self._values[0]:
+            evicted = self._items[0]
+            del self._pos[evicted]
+            self._values[0] = value
+            self._items[0] = item
+            self._pos[item] = 0
+            self._sift_down(0)
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Yield ``(item, value)`` pairs in arbitrary order."""
+        return zip(self._items, self._values)
+
+    def best(self, k: int | None = None) -> List[Tuple[int, float]]:
+        """The tracked items sorted by value descending (ties by item id)."""
+        ranked = sorted(
+            zip(self._items, self._values), key=lambda p: (-p[1], p[0])
+        )
+        return ranked if k is None else ranked[:k]
+
+    # ------------------------------------------------------------- internals
+    def _swap(self, i: int, j: int) -> None:
+        self._values[i], self._values[j] = self._values[j], self._values[i]
+        self._items[i], self._items[j] = self._items[j], self._items[i]
+        self._pos[self._items[i]] = i
+        self._pos[self._items[j]] = j
+
+    def _sift_up(self, slot: int) -> None:
+        while slot > 0:
+            parent = (slot - 1) >> 1
+            if self._values[slot] < self._values[parent]:
+                self._swap(slot, parent)
+                slot = parent
+            else:
+                return
+
+    def _sift_down(self, slot: int) -> None:
+        size = len(self._items)
+        while True:
+            left = 2 * slot + 1
+            right = left + 1
+            smallest = slot
+            if left < size and self._values[left] < self._values[smallest]:
+                smallest = left
+            if right < size and self._values[right] < self._values[smallest]:
+                smallest = right
+            if smallest == slot:
+                return
+            self._swap(slot, smallest)
+            slot = smallest
+
+    def check_invariant(self) -> bool:
+        """Verify the heap property and position map (used by tests)."""
+        for i in range(1, len(self._items)):
+            if self._values[i] < self._values[(i - 1) >> 1]:
+                return False
+        return all(self._items[s] == item for item, s in self._pos.items())

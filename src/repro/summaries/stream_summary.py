@@ -1,0 +1,227 @@
+"""The Stream-Summary structure of Metwally et al.
+
+Space-Saving's O(1) operation set relies on this structure: a doubly-linked
+list of *count buckets* in increasing count order, where each bucket chains
+the monitored items that currently share that exact count.  Incrementing an
+item detaches it from its bucket and re-attaches it to the (possibly new)
+``count + 1`` bucket; the global minimum is always the first bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class _Node:
+    """A monitored item: count plus the overestimation error bound."""
+
+    __slots__ = ("item", "count", "error", "bucket", "prev", "next")
+
+    def __init__(self, item: int, count: int, error: int):
+        self.item = item
+        self.count = count
+        self.error = error
+        self.bucket: "_Bucket | None" = None
+        self.prev: "_Node | None" = None
+        self.next: "_Node | None" = None
+
+
+class _Bucket:
+    """All nodes sharing one exact count, linked in count order."""
+
+    __slots__ = ("count", "head", "prev", "next")
+
+    def __init__(self, count: int):
+        self.count = count
+        self.head: "_Node | None" = None
+        self.prev: "_Bucket | None" = None
+        self.next: "_Bucket | None" = None
+
+
+class StreamSummaryList:
+    """Ordered counters over monitored items with O(1) increment.
+
+    This is a faithful structure (not a heap emulation): tests verify the
+    bucket ordering invariant after arbitrary operation sequences.
+    """
+
+    def __init__(self):
+        self._nodes: Dict[int, _Node] = {}
+        self._min_bucket: "_Bucket | None" = None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._nodes
+
+    def count_of(self, item: int) -> int:
+        """Current count of ``item`` (0 when not monitored)."""
+        node = self._nodes.get(item)
+        return node.count if node else 0
+
+    def error_of(self, item: int) -> int:
+        """Overestimation error bound of ``item``."""
+        node = self._nodes.get(item)
+        return node.error if node else 0
+
+    def min_count(self) -> int:
+        """Count of the least-counted monitored item (0 when empty)."""
+        return self._min_bucket.count if self._min_bucket else 0
+
+    # -------------------------------------------------------------- mutation
+    def add(self, item: int, count: int = 1, error: int = 0) -> None:
+        """Start monitoring ``item`` with the given count."""
+        if item in self._nodes:
+            raise ValueError(f"item {item} already monitored")
+        node = _Node(item, count, error)
+        self._nodes[item] = node
+        self._attach(node, self._find_bucket(count))
+
+    def increment(self, item: int, delta: int = 1) -> int:
+        """Increase ``item``'s count by ``delta``; returns the new count."""
+        node = self._nodes[item]
+        for _ in range(delta):
+            self._move_up_one(node)
+        return node.count
+
+    def replace_min(self, item: int) -> Tuple[int, int]:
+        """Space-Saving eviction: replace the minimum item with ``item``.
+
+        The new item inherits ``min_count + 1`` as its count and
+        ``min_count`` as its error bound.  Returns ``(evicted, min_count)``.
+        """
+        bucket = self._min_bucket
+        if bucket is None:
+            raise IndexError("replace_min on empty summary")
+        node = bucket.head
+        assert node is not None
+        evicted, min_count = node.item, node.count
+        del self._nodes[evicted]
+        node.item = item
+        node.error = min_count
+        self._nodes[item] = node
+        self._move_up_one(node)
+        return evicted, min_count
+
+    # ------------------------------------------------------------- iteration
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(item, count)`` in non-decreasing count order."""
+        bucket = self._min_bucket
+        while bucket is not None:
+            node = bucket.head
+            while node is not None:
+                yield node.item, node.count
+                node = node.next
+            bucket = bucket.next
+
+    def top(self, k: int) -> "list[tuple[int, int]]":
+        """The k largest ``(item, count)`` pairs, count-descending."""
+        ranked = sorted(self.items(), key=lambda p: (-p[1], p[0]))
+        return ranked[:k]
+
+    # ------------------------------------------------------------- internals
+    def _find_bucket(self, count: int) -> _Bucket:
+        """Find or create the bucket for ``count`` (linear from the min;
+        only used by ``add``, which Space-Saving calls with count 1)."""
+        prev = None
+        bucket = self._min_bucket
+        while bucket is not None and bucket.count < count:
+            prev = bucket
+            bucket = bucket.next
+        if bucket is not None and bucket.count == count:
+            return bucket
+        created = _Bucket(count)
+        created.prev = prev
+        created.next = bucket
+        if prev is None:
+            self._min_bucket = created
+        else:
+            prev.next = created
+        if bucket is not None:
+            bucket.prev = created
+        return created
+
+    def _attach(self, node: _Node, bucket: _Bucket) -> None:
+        node.bucket = bucket
+        node.prev = None
+        node.next = bucket.head
+        if bucket.head is not None:
+            bucket.head.prev = node
+        bucket.head = node
+
+    def _detach(self, node: _Node) -> None:
+        bucket = node.bucket
+        assert bucket is not None
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            bucket.head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        node.prev = node.next = None
+        if bucket.head is None:
+            self._remove_bucket(bucket)
+
+    def _remove_bucket(self, bucket: _Bucket) -> None:
+        if bucket.prev is not None:
+            bucket.prev.next = bucket.next
+        else:
+            self._min_bucket = bucket.next
+        if bucket.next is not None:
+            bucket.next.prev = bucket.prev
+
+    def _move_up_one(self, node: _Node) -> None:
+        """Move ``node`` from its bucket to the ``count + 1`` bucket."""
+        old = node.bucket
+        assert old is not None
+        target_count = node.count + 1
+        nxt = old.next
+        # Peek at the successor before possibly deleting the old bucket.
+        if nxt is not None and nxt.count == target_count:
+            target = nxt
+            self._detach(node)
+        else:
+            self._detach(node)
+            target = _Bucket(target_count)
+            # Re-derive neighbours: old may have been removed by _detach.
+            prev = old if old.head is not None else old.prev
+            # Walk forward from prev to keep ordering exact even after
+            # removals (at most one step in practice).
+            if prev is None:
+                nxt2 = self._min_bucket
+                while nxt2 is not None and nxt2.count < target_count:
+                    prev, nxt2 = nxt2, nxt2.next
+            else:
+                nxt2 = prev.next
+                while nxt2 is not None and nxt2.count < target_count:
+                    prev, nxt2 = nxt2, nxt2.next
+            if nxt2 is not None and nxt2.count == target_count:
+                target = nxt2
+            else:
+                target.prev = prev
+                target.next = nxt2
+                if prev is None:
+                    self._min_bucket = target
+                else:
+                    prev.next = target
+                if nxt2 is not None:
+                    nxt2.prev = target
+        node.count = target_count
+        self._attach(node, target)
+
+    def check_invariant(self) -> bool:
+        """Buckets strictly increasing; every node in its bucket (tests)."""
+        counts = []
+        bucket = self._min_bucket
+        while bucket is not None:
+            counts.append(bucket.count)
+            node = bucket.head
+            if node is None:
+                return False
+            while node is not None:
+                if node.count != bucket.count or node.bucket is not bucket:
+                    return False
+                node = node.next
+            bucket = bucket.next
+        return counts == sorted(set(counts))

@@ -1,0 +1,47 @@
+"""Shared fixtures: small deterministic workloads for fast tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.streams.ground_truth import GroundTruth
+from repro.streams.model import PeriodicStream
+from repro.streams.synthetic import zipf_stream
+
+
+@pytest.fixture(scope="session")
+def small_zipf() -> PeriodicStream:
+    """5k-event Zipf stream with 10 periods (session-cached)."""
+    return zipf_stream(
+        num_events=5_000, num_distinct=1_200, skew=1.0, num_periods=10, seed=42
+    )
+
+
+@pytest.fixture(scope="session")
+def small_zipf_truth(small_zipf: PeriodicStream) -> GroundTruth:
+    return GroundTruth(small_zipf)
+
+
+@pytest.fixture(scope="session")
+def medium_zipf() -> PeriodicStream:
+    """20k-event Zipf stream with 20 periods (session-cached)."""
+    return zipf_stream(
+        num_events=20_000, num_distinct=4_000, skew=1.0, num_periods=20, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_zipf_truth(medium_zipf: PeriodicStream) -> GroundTruth:
+    return GroundTruth(medium_zipf)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(0xBEEF)
+
+
+def make_stream(events, num_periods=1, name="test") -> PeriodicStream:
+    """Helper to build tiny hand-crafted streams in tests."""
+    return PeriodicStream(events=list(events), num_periods=num_periods, name=name)

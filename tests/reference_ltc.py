@@ -1,0 +1,156 @@
+"""A deliberately naive LTC used as a differential-testing oracle.
+
+This implementation follows the paper's prose literally with per-cell
+objects, explicit flag dictionaries and recomputed significances — no bit
+tricks, no parallel arrays, no in-place micro-optimisations.  Its only
+job is to be *obviously* correct so that
+``tests/test_ltc_reference.py`` can assert the production implementation
+is behaviourally identical on arbitrary streams.
+
+Semantics mirrored exactly (they are part of the spec, not accidents):
+ties for the smallest cell break towards the lowest cell index; the CLOCK
+advances ``m/n`` slots per arrival via an integer accumulator and never
+re-scans a slot within a period; ``end_period`` completes the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hashing.family import splitmix64
+
+
+class _RefCell:
+    def __init__(self):
+        self.key: Optional[int] = None
+        self.freq = 0
+        self.counter = 0
+        self.flags: Dict[int, bool] = {0: False, 1: False}  # even, odd
+
+
+class ReferenceLTC:
+    """Naive LTC with the same constructor surface as the real one."""
+
+    def __init__(
+        self,
+        num_buckets: int,
+        bucket_width: int,
+        alpha: float,
+        beta: float,
+        items_per_period: int,
+        deviation_eliminator: bool = True,
+        longtail_replacement: bool = True,
+        seed: int = 0x17C,
+    ):
+        self.w = num_buckets
+        self.d = bucket_width
+        self.alpha = alpha
+        self.beta = beta
+        self.n = items_per_period
+        self.de = deviation_eliminator
+        self.ltr = longtail_replacement
+        self.seed = splitmix64(seed)
+        self.m = self.w * self.d
+        self.cells = [_RefCell() for _ in range(self.m)]
+        self.parity = 0
+        self.hand = 0
+        self.acc = 0
+        self.scanned = 0
+
+    # ------------------------------------------------------------- helpers
+    def _sig(self, cell: _RefCell) -> float:
+        return self.alpha * cell.freq + self.beta * cell.counter
+
+    def _bucket_cells(self, item: int) -> List[int]:
+        bucket = splitmix64(item ^ self.seed) % self.w
+        return list(range(bucket * self.d, (bucket + 1) * self.d))
+
+    def _current_flag(self) -> int:
+        return self.parity if self.de else 0
+
+    def _harvest_flag(self) -> int:
+        return (1 - self.parity) if self.de else 0
+
+    # ------------------------------------------------------------- updates
+    def insert(self, item: int) -> None:
+        indices = self._bucket_cells(item)
+        hit = next((j for j in indices if self.cells[j].key == item), None)
+        if hit is not None:
+            self.cells[hit].freq += 1
+            self.cells[hit].flags[self._current_flag()] = True
+        else:
+            empty = next((j for j in indices if self.cells[j].key is None), None)
+            if empty is not None:
+                self._take_cell(empty, item, 1, 0)
+            else:
+                self._significance_decrement(indices, item)
+        self._advance_clock()
+
+    def _take_cell(self, j: int, item: int, freq: int, counter: int) -> None:
+        cell = self.cells[j]
+        cell.key = item
+        cell.freq = freq
+        cell.counter = counter
+        cell.flags = {0: False, 1: False}
+        cell.flags[self._current_flag()] = True
+
+    def _significance_decrement(self, indices: List[int], item: int) -> None:
+        jmin = min(indices, key=lambda j: self._sig(self.cells[j]))
+        victim = self.cells[jmin]
+        if victim.counter > 0:
+            victim.counter -= 1
+        if victim.freq > 0:
+            victim.freq -= 1
+        if self._sig(victim) <= 0:
+            if self.ltr and self.d > 1:
+                others = [self.cells[j] for j in indices if j != jmin]
+                f2 = min(c.freq for c in others)
+                c2 = min(c.counter for c in others)
+                self._take_cell(jmin, item, max(f2 - 1, 1), max(c2 - 1, 0))
+            else:
+                self._take_cell(jmin, item, 1, 0)
+
+    def _advance_clock(self) -> None:
+        self.acc += self.m
+        steps = self.acc // self.n
+        self.acc -= steps * self.n
+        self._scan(steps)
+
+    def _scan(self, steps: int) -> None:
+        steps = min(steps, self.m - self.scanned)
+        for _ in range(max(steps, 0)):
+            cell = self.cells[self.hand]
+            flag = self._harvest_flag()
+            if cell.flags[flag]:
+                cell.flags[flag] = False
+                if cell.key is not None:
+                    cell.counter += 1
+            self.hand = (self.hand + 1) % self.m
+            self.scanned += 1
+
+    def end_period(self) -> None:
+        self._scan(self.m - self.scanned)
+        self.scanned = 0
+        self.acc = 0
+        if self.de:
+            self.parity ^= 1
+
+    def finalize(self) -> None:
+        for cell in self.cells:
+            if cell.key is not None:
+                cell.counter += int(cell.flags[0]) + int(cell.flags[1])
+            cell.flags = {0: False, 1: False}
+
+    # ------------------------------------------------------------- queries
+    def estimate(self, item: int):
+        for j in self._bucket_cells(item):
+            if self.cells[j].key == item:
+                return self.cells[j].freq, self.cells[j].counter
+        return 0, 0
+
+    def snapshot(self):
+        """(key, freq, counter, flag0, flag1) per cell — for comparison."""
+        return [
+            (c.key, c.freq, c.counter, c.flags[0], c.flags[1])
+            for c in self.cells
+        ]

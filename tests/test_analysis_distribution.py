@@ -1,0 +1,99 @@
+"""Long-tail diagnostics (§III-D tooling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.distribution import (
+    fit_zipf,
+    is_long_tailed,
+    sample_frequencies,
+    tail_ratio,
+)
+from repro.streams.synthetic import zipf_frequencies
+
+
+class TestFitZipf:
+    def test_recovers_exact_power_law(self):
+        freqs = [1000.0 / (rank**1.2) for rank in range(1, 200)]
+        fit = fit_zipf(freqs)
+        assert fit.skew == pytest.approx(1.2, abs=0.01)
+        assert fit.r_squared > 0.999
+
+    def test_uniform_gives_zero_skew(self):
+        fit = fit_zipf([10.0] * 50)
+        assert fit.skew == pytest.approx(0.0, abs=1e-9)
+
+    def test_predicted_matches_head(self):
+        freqs = [500.0 / rank for rank in range(1, 100)]
+        fit = fit_zipf(freqs)
+        assert fit.predicted(1) == pytest.approx(500.0, rel=0.05)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_zipf([5.0])
+
+    def test_ignores_zero_frequencies(self):
+        freqs = [90.0, 45.0, 30.0, 0.0, 0.0]  # exact 90/rank at ranks 1-3
+        fit = fit_zipf(freqs)
+        assert fit.skew == pytest.approx(1.0, abs=0.01)
+
+
+class TestTailRatio:
+    def test_uniform(self):
+        assert tail_ratio([1.0] * 100, 0.01) == pytest.approx(0.01)
+
+    def test_skewed(self):
+        freqs = sorted(zipf_frequencies(100_000, 1_000, 1.2), reverse=True)
+        assert tail_ratio(freqs, 0.01) > 0.2
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            tail_ratio([1.0], 0.0)
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            tail_ratio([0.0, 0.0])
+
+
+class TestIsLongTailed:
+    def test_zipf_accepted(self):
+        freqs = zipf_frequencies(50_000, 2_000, 1.0)
+        report = is_long_tailed(freqs)
+        assert report.long_tailed
+        assert "long-tailed" in str(report)
+
+    def test_uniform_rejected(self):
+        report = is_long_tailed([10] * 1_000)
+        assert not report.long_tailed
+        assert "NOT" in str(report)
+
+    def test_order_independent(self):
+        freqs = zipf_frequencies(10_000, 500, 1.0)
+        shuffled = list(reversed(freqs))
+        assert is_long_tailed(freqs).long_tailed == is_long_tailed(
+            shuffled
+        ).long_tailed
+
+
+class TestSampleFrequencies:
+    def test_small_input_counted_exactly(self):
+        events = [1, 1, 1, 2, 2, 3]
+        assert sample_frequencies(events, sample_size=100) == [3, 2, 1]
+
+    def test_sampling_preserves_shape(self):
+        from repro.streams.synthetic import zipf_stream
+
+        stream = zipf_stream(30_000, 3_000, 1.2, num_periods=10, seed=3)
+        sampled = sample_frequencies(stream.events, sample_size=5_000, seed=4)
+        assert is_long_tailed(sampled).long_tailed
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            sample_frequencies([1], sample_size=0)
+
+    def test_deterministic(self):
+        events = list(range(100)) * 3
+        assert sample_frequencies(events, 50, seed=9) == sample_frequencies(
+            events, 50, seed=9
+        )

@@ -1,0 +1,88 @@
+"""Bucket-occupancy model vs simulation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.occupancy import (
+    bucket_overflow_probability,
+    expected_overflowing_buckets,
+    overflow_curve,
+    poisson_tail,
+)
+
+
+class TestPoissonTail:
+    def test_zero_mean(self):
+        assert poisson_tail(0.0, 0) == 0.0
+        assert poisson_tail(0.0, 5) == 0.0
+
+    def test_negative_threshold(self):
+        assert poisson_tail(1.0, -1) == 1.0
+
+    def test_rejects_negative_mean(self):
+        with pytest.raises(ValueError):
+            poisson_tail(-1.0, 2)
+
+    def test_known_value(self):
+        # P[X > 0] for mean 1 = 1 - e^-1.
+        assert poisson_tail(1.0, 0) == pytest.approx(1 - math.exp(-1))
+
+    def test_monotone_in_threshold(self):
+        values = [poisson_tail(4.0, t) for t in range(10)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestOverflowModel:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            bucket_overflow_probability(10, 0, 1)
+        with pytest.raises(ValueError):
+            bucket_overflow_probability(-1, 1, 1)
+
+    def test_matches_simulation(self):
+        """The Poisson model tracks the empirical overflow rate."""
+        rng = random.Random(6)
+        num_items, w, d = 4_000, 500, 8
+        trials = 40
+        overflow_counts = 0
+        for _ in range(trials):
+            loads = [0] * w
+            for _ in range(num_items):
+                loads[rng.randrange(w)] += 1
+            overflow_counts += sum(1 for load in loads if load > d)
+        empirical = overflow_counts / (trials * w)
+        model = bucket_overflow_probability(num_items, w, d)
+        assert model == pytest.approx(empirical, abs=0.02)
+
+    def test_expected_buckets(self):
+        assert expected_overflowing_buckets(
+            4_000, 500, 8
+        ) == 500 * bucket_overflow_probability(4_000, 500, 8)
+
+    def test_underloaded_wider_buckets_balance_better(self):
+        """With fewer contenders than cells, overflow probability falls
+        with d — the balancing argument behind the paper's d = 8 choice
+        (the top-k contenders are far fewer than the cells)."""
+        curve = overflow_curve(
+            num_items=1_000, total_cells=2_048, widths=(1, 2, 4, 8, 16)
+        )
+        probs = [p for _, p in curve]
+        assert probs == sorted(probs, reverse=True)
+        by_d = dict(curve)
+        # At d=8 the marginal gain over d=4 is already small (plateau).
+        assert by_d[4] - by_d[8] < by_d[1] - by_d[4]
+
+    def test_overloaded_regime_reverses(self):
+        """With more contenders than cells every wide bucket overflows —
+        in overload LTC's protection is Significance Decrementing, not
+        bucket slack (the model makes the regime boundary explicit)."""
+        curve = overflow_curve(
+            num_items=5_000, total_cells=2_048, widths=(1, 4, 16)
+        )
+        probs = [p for _, p in curve]
+        assert probs == sorted(probs)
+        assert probs[-1] > 0.99

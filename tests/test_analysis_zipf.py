@@ -1,0 +1,42 @@
+"""Zipf model of §IV (Eq. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.zipf import zeta, zipf_model_frequencies
+
+
+class TestZeta:
+    def test_gamma_zero(self):
+        assert zeta(0.0, 5) == 5.0
+
+    def test_gamma_one(self):
+        assert zeta(1.0, 3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zeta(1.0, 0)
+
+    def test_monotone_in_items(self):
+        assert zeta(1.0, 100) > zeta(1.0, 50)
+
+
+class TestModelFrequencies:
+    def test_sum_equals_total(self):
+        freqs = zipf_model_frequencies(10_000, 200, 1.0)
+        assert sum(freqs) == pytest.approx(10_000)
+
+    def test_non_increasing(self):
+        freqs = zipf_model_frequencies(1_000, 100, 0.8)
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_rank_one_value(self):
+        freqs = zipf_model_frequencies(1_000, 50, 1.0)
+        assert freqs[0] == pytest.approx(1_000 / zeta(1.0, 50))
+
+    def test_matches_eq3_ratio(self):
+        """f_i / f_j = (j/i)^γ exactly."""
+        gamma = 1.3
+        freqs = zipf_model_frequencies(5_000, 100, gamma)
+        assert freqs[1] / freqs[3] == pytest.approx((4 / 2) ** gamma)

@@ -1,0 +1,90 @@
+"""Bloom filter: no false negatives, clearing, sizing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.membership.bloom import BloomFilter
+from repro.metrics.memory import MemoryBudget, kb
+
+
+class TestGuarantees:
+    def test_no_false_negatives(self, rng):
+        bloom = BloomFilter(num_bits=4096, num_hashes=3)
+        keys = [rng.getrandbits(32) for _ in range(300)]
+        for key in keys:
+            bloom.insert(key)
+        assert all(key in bloom for key in keys)
+
+    @given(st.sets(st.integers(0, 2**32 - 1), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_no_false_negatives_property(self, keys):
+        bloom = BloomFilter(num_bits=2048, num_hashes=3)
+        for key in keys:
+            bloom.insert(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_bounded(self, rng):
+        bloom = BloomFilter(num_bits=8192, num_hashes=3)
+        for key in range(500):
+            bloom.insert(key)
+        probes = [rng.getrandbits(40) + 2**33 for _ in range(2_000)]
+        fp = sum(1 for p in probes if p in bloom)
+        # ~500 keys in 8192 bits: theoretical fpp well below 2%.
+        assert fp / len(probes) < 0.05
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(num_bits=128)
+        assert 5 not in bloom
+
+
+class TestBehaviour:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=0)
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=8, num_hashes=0)
+
+    def test_num_hashes_from_expected_items(self):
+        bloom = BloomFilter(num_bits=1000, expected_items=100)
+        assert bloom.num_hashes == round(0.6931 * 10)
+
+    def test_clear(self):
+        bloom = BloomFilter(num_bits=256)
+        bloom.insert(1)
+        bloom.clear()
+        assert 1 not in bloom
+        assert bloom.bits_set == 0
+
+    def test_insert_if_absent_semantics(self):
+        bloom = BloomFilter(num_bits=1024)
+        assert bloom.insert_if_absent(9) is True
+        assert bloom.insert_if_absent(9) is False
+        assert 9 in bloom
+
+    def test_insert_if_absent_per_period_dedup(self):
+        """The use-case: count period-first appearances."""
+        bloom = BloomFilter(num_bits=4096)
+        firsts = 0
+        for period in range(5):
+            for item in [1, 2, 1, 3, 2, 1]:
+                if bloom.insert_if_absent(item):
+                    firsts += 1
+            bloom.clear()
+        assert firsts == 15  # 3 distinct × 5 periods
+
+    def test_estimated_fpp_grows_with_load(self):
+        bloom = BloomFilter(num_bits=256, num_hashes=3)
+        assert bloom.estimated_fpp() == 0.0
+        for key in range(50):
+            bloom.insert(key)
+        light = bloom.estimated_fpp()
+        for key in range(50, 200):
+            bloom.insert(key)
+        assert bloom.estimated_fpp() > light
+
+    def test_from_memory(self):
+        bloom = BloomFilter.from_memory(MemoryBudget(kb(1)))
+        assert bloom.num_bits == 8192

@@ -1,0 +1,177 @@
+"""CLI subcommands end-to-end (on the cached small default datasets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import configs
+
+
+@pytest.fixture(autouse=True)
+def small_datasets(monkeypatch):
+    """Shrink the dataset builders so CLI tests stay fast."""
+    from repro.streams.datasets import temporal_zipf_stream
+
+    def tiny(name):
+        def build(**kwargs):
+            return temporal_zipf_stream(
+                num_events=4_000,
+                num_distinct=800,
+                skew=1.0,
+                num_periods=8,
+                burst_fraction=0.3,
+                seed=1,
+                name=name,
+            )
+
+        return build
+
+    monkeypatch.setattr(
+        configs,
+        "DATASET_BUILDERS",
+        {k: tiny(k) for k in ("caida", "network", "social")},
+    )
+    monkeypatch.setattr(configs, "_DATASET_CACHE", {})
+
+
+class TestCLI:
+    def test_demo(self, capsys):
+        assert main(["demo", "--dataset", "caida", "--memory-kb", "8", "-k", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "LTC top items" in out
+
+    def test_compare_significant(self, capsys):
+        code = main(
+            ["compare", "--dataset", "network", "--memory-kb", "8", "-k", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LTC" in out and "precision" in out
+
+    def test_compare_frequent_lineup(self, capsys):
+        main(
+            [
+                "compare",
+                "--dataset",
+                "social",
+                "--memory-kb",
+                "8",
+                "-k",
+                "20",
+                "--beta",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "SS" in out and "CU" in out
+
+    def test_compare_persistent_lineup(self, capsys):
+        main(
+            [
+                "compare",
+                "--dataset",
+                "social",
+                "--memory-kb",
+                "8",
+                "-k",
+                "20",
+                "--alpha",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "PIE" in out
+
+    def test_throughput(self, capsys):
+        main(
+            [
+                "throughput",
+                "--dataset",
+                "caida",
+                "--memory-kb",
+                "8",
+                "-k",
+                "10",
+                "--beta",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Mops" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCheckLongtail:
+    def test_builtin_dataset_is_longtailed(self, capsys):
+        code = main(["check-longtail", "--dataset", "caida"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "long-tailed" in out
+
+    def test_uniform_trace_rejected(self, tmp_path, capsys):
+        trace = tmp_path / "uniform.txt"
+        trace.write_text("".join(f"{i}\n" for i in range(2_000)))
+        code = main(["check-longtail", "--trace", str(trace)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NOT long-tailed" in out
+
+    def test_longtailed_trace_accepted(self, tmp_path, capsys):
+        from repro.streams.synthetic import zipf_stream
+
+        trace = tmp_path / "zipf.txt"
+        stream = zipf_stream(5_000, 800, 1.2, num_periods=2, seed=6)
+        trace.write_text("".join(f"{e}\n" for e in stream.events))
+        assert main(["check-longtail", "--trace", str(trace)]) == 0
+
+
+class TestFigureCommand:
+    def test_unknown_figure_lists_available(self, capsys):
+        code = main(["figure", "nonexistent_zzz"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "available" in out
+        assert "fig09_10_frequent" in out
+
+
+class TestPlanCommand:
+    def test_plan_prints_recommendation(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--distinct",
+                "3000",
+                "--events",
+                "30000",
+                "-k",
+                "50",
+                "--target-rate",
+                "0.85",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "KB" in out and "LTC.from_memory" in out
+
+    def test_plan_unreachable_target(self, capsys):
+        code = main(
+            [
+                "plan",
+                "--distinct",
+                "3000",
+                "--events",
+                "30000",
+                "-k",
+                "50",
+                "--target-rate",
+                "0.5",
+                "-d",
+                "1",  # d=1 makes the bound identically zero → unreachable
+            ]
+        )
+        assert code == 1
+        assert "planning failed" in capsys.readouterr().out

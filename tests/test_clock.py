@@ -1,0 +1,108 @@
+"""ClockPointer: the exactly-once-per-period sweep invariant."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import ClockPointer
+
+
+class TestConstruction:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ClockPointer(0, 10)
+        with pytest.raises(ValueError):
+            ClockPointer(10, 0)
+
+
+class TestCountBased:
+    def test_full_period_scans_every_cell_once(self):
+        clock = ClockPointer(num_cells=24, items_per_period=10)
+        scanned = []
+        for _ in range(10):
+            scanned.extend(clock.on_arrival())
+        assert sorted(scanned) == list(range(24))
+
+    def test_multiple_periods(self):
+        clock = ClockPointer(num_cells=7, items_per_period=3)
+        for period in range(5):
+            scanned = []
+            for _ in range(3):
+                scanned.extend(clock.on_arrival())
+            scanned.extend(clock.end_period())
+            assert sorted(scanned) == list(range(7)), f"period {period}"
+
+    def test_more_cells_than_items(self):
+        clock = ClockPointer(num_cells=100, items_per_period=3)
+        scanned = []
+        for _ in range(3):
+            scanned.extend(clock.on_arrival())
+        assert len(scanned) == 100  # ceil behaviour via accumulator
+
+    def test_fewer_items_than_period_completes_on_end(self):
+        clock = ClockPointer(num_cells=10, items_per_period=10)
+        scanned = []
+        for _ in range(4):  # short period
+            scanned.extend(clock.on_arrival())
+        scanned.extend(clock.end_period())
+        assert sorted(scanned) == list(range(10))
+
+    def test_excess_arrivals_never_rescan(self):
+        """A long period (remainder absorption) must not scan cells twice."""
+        clock = ClockPointer(num_cells=10, items_per_period=5)
+        scanned = []
+        for _ in range(9):  # 4 extra arrivals
+            scanned.extend(clock.on_arrival())
+        scanned.extend(clock.end_period())
+        assert sorted(scanned) == list(range(10))
+
+    def test_hand_position_continues_across_periods(self):
+        clock = ClockPointer(num_cells=6, items_per_period=2)
+        first = []
+        for _ in range(2):
+            first.extend(clock.on_arrival())
+        clock.end_period()
+        second = clock.on_arrival()
+        assert second[0] == 0  # wrapped exactly to the start
+
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 60))
+    @settings(max_examples=80, deadline=None)
+    def test_exactly_once_property(self, m, n, arrivals):
+        """For any table size, period length and arrival count, a period
+        (arrivals + end_period) scans each cell exactly once."""
+        clock = ClockPointer(num_cells=m, items_per_period=n)
+        scanned = []
+        for _ in range(arrivals):
+            scanned.extend(clock.on_arrival())
+        scanned.extend(clock.end_period())
+        assert sorted(scanned) == list(range(m))
+
+
+class TestTimeBased:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            ClockPointer(10, 1).on_elapsed(-0.1)
+
+    def test_full_period_fraction_scans_all(self):
+        clock = ClockPointer(num_cells=20, items_per_period=1)
+        scanned = []
+        for _ in range(10):
+            scanned.extend(clock.on_elapsed(0.1))
+        scanned.extend(clock.end_period())
+        assert sorted(scanned) == list(range(20))
+
+    def test_irregular_arrivals(self):
+        clock = ClockPointer(num_cells=13, items_per_period=1)
+        scanned = []
+        for fraction in (0.5, 0.01, 0.02, 0.47):
+            scanned.extend(clock.on_elapsed(fraction))
+        scanned.extend(clock.end_period())
+        assert sorted(scanned) == list(range(13))
+
+    def test_overshoot_capped(self):
+        clock = ClockPointer(num_cells=8, items_per_period=1)
+        scanned = clock.on_elapsed(3.5)  # pathological burst of lateness
+        assert sorted(scanned) == list(range(8))
+        assert clock.end_period() == []

@@ -1,0 +1,117 @@
+"""Statistical behaviour of the fountain codes."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.codes.lt import LTCode, RobustSoliton
+from repro.codes.raptor import RaptorCode
+
+
+class TestSolitonStatistics:
+    def test_mean_degree_is_logarithmic(self):
+        """Robust-soliton mean degree grows like O(log n) — far below the
+        uniform mean (n/2)."""
+        n = 64
+        soliton = RobustSoliton(n)
+        rng = random.Random(2)
+        draws = [soliton.degree(rng.random()) for _ in range(20_000)]
+        mean = sum(draws) / len(draws)
+        assert 1.5 < mean < 16
+
+    def test_degree_two_most_common_among_higher(self):
+        """ρ(2) = 1/2 dominates the ideal-soliton part."""
+        soliton = RobustSoliton(64)
+        rng = random.Random(3)
+        counts = Counter(soliton.degree(rng.random()) for _ in range(20_000))
+        assert counts[2] == max(
+            count for degree, count in counts.items() if degree >= 2
+        )
+
+
+class TestLTDecodeRates:
+    def test_rate_monotone_in_symbol_count(self):
+        code = LTCode(num_source=4, chunk_bits=8, seed=6)
+        rng = random.Random(6)
+
+        def rate(num_symbols: int) -> float:
+            ok = 0
+            for _ in range(300):
+                value = rng.getrandbits(32)
+                idxs = rng.sample(range(100_000), num_symbols)
+                symbols = [(i, code.encode(value, i)) for i in idxs]
+                ok += code.decode(symbols) == value
+            return ok / 300
+
+        rates = [rate(k) for k in (4, 6, 8, 12)]
+        assert rates[0] <= rates[-1]
+        assert rates[-1] > 0.9
+
+
+class TestRaptorStatistics:
+    def test_symbol_values_roughly_uniform_without_parity(self):
+        """Encoded symbols of random ids cover the 16-bit space without
+        gross bias (chunk-XOR of independent uniform chunks is uniform).
+        Tested on the parity-free code: with a parity chunk the all-ones
+        mask XORs to the constant 0 (see the degeneracy test below)."""
+        code = RaptorCode(num_source=2, num_parity=0, chunk_bits=16, seed=9)
+        rng = random.Random(9)
+        buckets = [0] * 16
+        for _ in range(8_000):
+            symbol = code.encode(rng.getrandbits(32), rng.randrange(10_000))
+            buckets[symbol >> 12] += 1
+        assert max(buckets) < 2 * min(buckets)
+
+    def test_full_mask_degeneracy_with_parity(self):
+        """With parity = source XOR, a symbol covering all intermediates
+        always encodes 0 — it duplicates the parity constraint and adds
+        no information.  Inherent to short precoded blocks; documented."""
+        code = RaptorCode(num_source=2, num_parity=1, chunk_bits=16, seed=9)
+        rng = random.Random(9)
+        full_mask_symbols = []
+        for idx in range(5_000):
+            if code._lt.neighbors(idx) == [0, 1, 2]:
+                full_mask_symbols.append(code.encode(rng.getrandbits(32), idx))
+        assert full_mask_symbols, "uniform masks must include the full mask"
+        assert set(full_mask_symbols) == {0}
+
+    def test_parity_costs_rate_under_elimination(self):
+        """Under the Gaussian-elimination decoder a random linear fountain
+        is already near-optimal, so the precode slightly *reduces* the
+        clean-decode rate (it adds an unknown per parity).  Mixed-item
+        symbol groups mostly fail to solve either way; the garbage that
+        does solve is what PIE's fingerprint/membership verification
+        filters (tested in test_stbf_properties.py)."""
+        rng = random.Random(10)
+
+        def stats(num_parity: int):
+            code = RaptorCode(
+                num_source=2, num_parity=num_parity, chunk_bits=16, seed=4
+            )
+            ok = 0
+            mixed_unsolved = 0
+            for _ in range(600):
+                value = rng.getrandbits(32)
+                idxs = rng.sample(range(100_000), 3)
+                symbols = [(i, code.encode(value, i)) for i in idxs]
+                ok += code.decode(symbols) == value
+                other = rng.getrandbits(32)
+                mixed = [
+                    (i, code.encode(value if n == 0 else other, i))
+                    for n, i in enumerate(idxs)
+                ]
+                mixed_unsolved += code.decode(mixed) is None
+            return ok / 600, mixed_unsolved / 600
+
+        rate_p0, unsolved_p0 = stats(0)
+        rate_p1, unsolved_p1 = stats(1)
+        assert rate_p0 >= rate_p1  # elimination decoding: parity costs rate
+        assert unsolved_p0 > 0.5 and unsolved_p1 > 0.5
+
+    def test_different_seeds_give_different_codes(self):
+        a = RaptorCode(seed=1)
+        b = RaptorCode(seed=2)
+        symbols_a = [a.encode(0xDEADBEEF, i) for i in range(50)]
+        symbols_b = [b.encode(0xDEADBEEF, i) for i in range(50)]
+        assert symbols_a != symbols_b

@@ -1,0 +1,86 @@
+"""Count-Min sketch: one-sided error and sizing."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.memory import MemoryBudget, kb
+from repro.sketches.count_min import CountMinSketch
+
+
+class TestGuarantees:
+    def test_never_underestimates(self, small_zipf, small_zipf_truth):
+        sketch = CountMinSketch(width=256, rows=3)
+        for item in small_zipf.events:
+            sketch.update(item)
+        for item in small_zipf_truth.items()[:400]:
+            assert sketch.query(item) >= small_zipf_truth.frequency(item)
+
+    def test_exact_with_huge_width(self):
+        events = [1, 1, 2, 3, 3, 3]
+        sketch = CountMinSketch(width=1 << 16, rows=3)
+        for item in events:
+            sketch.update(item)
+        for item, real in Counter(events).items():
+            assert sketch.query(item) == real
+
+    def test_error_shrinks_with_width(self, small_zipf, small_zipf_truth):
+        def total_error(width: int) -> int:
+            sketch = CountMinSketch(width=width, rows=3, seed=1)
+            for item in small_zipf.events:
+                sketch.update(item)
+            return sum(
+                sketch.query(i) - small_zipf_truth.frequency(i)
+                for i in small_zipf_truth.items()
+            )
+
+        assert total_error(1024) < total_error(64)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_overestimate_property(self, events):
+        sketch = CountMinSketch(width=16, rows=2)
+        for item in events:
+            sketch.update(item)
+        counts = Counter(events)
+        for item, real in counts.items():
+            assert sketch.query(item) >= real
+
+
+class TestBehaviour:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(width=4, rows=0)
+
+    def test_update_delta(self):
+        sketch = CountMinSketch(width=64)
+        sketch.update(1, delta=10)
+        assert sketch.query(1) >= 10
+
+    def test_update_and_query_matches_query(self):
+        sketch = CountMinSketch(width=64, seed=2)
+        for item in (5, 5, 9):
+            returned = sketch.update_and_query(item)
+            assert returned == sketch.query(item)
+
+    def test_unseen_item_can_be_zero(self):
+        sketch = CountMinSketch(width=1 << 12, rows=3)
+        sketch.update(1)
+        assert sketch.query(999_999) == 0
+
+    def test_from_memory_width(self):
+        budget = MemoryBudget(kb(12))
+        sketch = CountMinSketch.from_memory(budget, rows=3, heap_k=0)
+        assert sketch.width == (kb(12) // 4) // 3
+        assert sketch.total_counters == sketch.width * 3
+
+    def test_from_memory_reserves_heap(self):
+        budget = MemoryBudget(kb(12))
+        with_heap = CountMinSketch.from_memory(budget, rows=3, heap_k=100)
+        assert with_heap.width < CountMinSketch.from_memory(budget, rows=3).width

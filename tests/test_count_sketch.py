@@ -1,0 +1,66 @@
+"""Count sketch: unbiased two-sided estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.memory import MemoryBudget, kb
+from repro.sketches.count_sketch import CountSketch
+
+
+class TestBehaviour:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            CountSketch(width=0)
+
+    def test_exact_with_huge_width(self):
+        sketch = CountSketch(width=1 << 16, rows=3)
+        for _ in range(9):
+            sketch.update(1)
+        assert sketch.query(1) == 9
+
+    def test_update_and_query(self):
+        sketch = CountSketch(width=1 << 12, rows=3)
+        assert sketch.update_and_query(3) in (0, 1)  # collisions possible
+        sketch.update(3, delta=10)
+        assert sketch.query(3) >= 10 - 2  # small two-sided noise allowed
+
+    def test_can_underestimate(self, small_zipf, small_zipf_truth):
+        """Unlike CM/CU the Count sketch is two-sided: on a crowded sketch
+        some estimate must fall below the true count."""
+        sketch = CountSketch(width=64, rows=3)
+        for item in small_zipf.events:
+            sketch.update(item)
+        under = sum(
+            1
+            for item in small_zipf_truth.items()
+            if sketch.query(item) < small_zipf_truth.frequency(item)
+        )
+        assert under > 0
+
+    def test_roughly_unbiased(self, small_zipf, small_zipf_truth):
+        """Signed errors should largely cancel across items."""
+        sketch = CountSketch(width=256, rows=3)
+        for item in small_zipf.events:
+            sketch.update(item)
+        errors = [
+            sketch.query(item) - small_zipf_truth.frequency(item)
+            for item in small_zipf_truth.items()
+        ]
+        mean_error = sum(errors) / len(errors)
+        mean_abs = sum(abs(e) for e in errors) / len(errors)
+        assert abs(mean_error) < max(1.0, 0.5 * mean_abs)
+
+    def test_total_counters(self):
+        assert CountSketch(width=10, rows=3).total_counters == 30
+
+    def test_from_memory(self):
+        sketch = CountSketch.from_memory(MemoryBudget(kb(12)), rows=3)
+        assert sketch.width == (kb(12) // 4) // 3
+
+    def test_heavy_hitter_accurate(self, small_zipf, small_zipf_truth):
+        sketch = CountSketch(width=512, rows=3)
+        for item in small_zipf.events:
+            sketch.update(item)
+        top_item, top_sig = small_zipf_truth.top_k(1, 1.0, 0.0)[0]
+        assert abs(sketch.query(top_item) - top_sig) <= 0.2 * top_sig

@@ -1,0 +1,64 @@
+"""CU sketch: conservative update dominates Count-Min."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.cu import CUSketch
+
+
+class TestGuarantees:
+    def test_never_underestimates(self, small_zipf, small_zipf_truth):
+        sketch = CUSketch(width=256, rows=3)
+        for item in small_zipf.events:
+            sketch.update(item)
+        for item in small_zipf_truth.items()[:400]:
+            assert sketch.query(item) >= small_zipf_truth.frequency(item)
+
+    def test_estimates_never_above_cm(self, small_zipf):
+        """CU's estimate is pointwise ≤ CM's under identical hashing."""
+        cm = CountMinSketch(width=128, rows=3, seed=7)
+        cu = CUSketch(width=128, rows=3, seed=7)
+        for item in small_zipf.events:
+            cm.update(item)
+            cu.update(item)
+        for item in set(small_zipf.events[:1000]):
+            assert cu.query(item) <= cm.query(item)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_sandwich_property(self, events):
+        """true ≤ CU ≤ CM on any insert-only stream."""
+        cm = CountMinSketch(width=16, rows=2, seed=3)
+        cu = CUSketch(width=16, rows=2, seed=3)
+        for item in events:
+            cm.update(item)
+            cu.update(item)
+        for item, real in Counter(events).items():
+            assert real <= cu.query(item) <= cm.query(item)
+
+
+class TestBehaviour:
+    def test_rejects_decrement(self):
+        with pytest.raises(ValueError):
+            CUSketch(width=8).update(1, delta=-1)
+
+    def test_zero_delta_noop(self):
+        sketch = CUSketch(width=8)
+        sketch.update(1, delta=0)
+        assert sketch.query(1) == 0
+
+    def test_update_and_query(self):
+        sketch = CUSketch(width=64)
+        assert sketch.update_and_query(4) == 1
+        assert sketch.update_and_query(4) == 2
+
+    def test_delta_update(self):
+        sketch = CUSketch(width=64)
+        sketch.update(1, delta=5)
+        assert sketch.query(1) == 5

@@ -1,0 +1,45 @@
+"""Every shipped example must run clean and print its headline result.
+
+These are subprocess end-to-end tests — the examples are the library's
+user-facing contract, so they are tested like any other surface.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["top-10 significant items", "point query"]),
+    ("ddos_detection.py", ["attackers 20/20", "flash-crowd"]),
+    ("website_ranking.py", ["precision vs exact ranking: 100%"]),
+    ("network_scheduling.py", ["significant-flows strategy"]),
+    ("trending_topics.py", ["windowed LTC", "15/15"]),
+    ("checkpoint_pipeline.py", ["matches the uninterrupted run exactly"]),
+    ("datacenter_monitoring.py", ["precision from merged summaries: 100%"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for snippet in expected:
+        assert snippet in result.stdout, (
+            f"{script}: expected {snippet!r} in output:\n{result.stdout[-2000:]}"
+        )
+
+
+def test_every_example_file_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {name for name, _ in CASES}

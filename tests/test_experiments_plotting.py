@@ -1,0 +1,76 @@
+"""Text chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.plotting import bar_chart, series_grid
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        line_a, line_b = chart.splitlines()
+        assert line_a.count("█") == 10
+        assert line_b.count("█") == 5
+
+    def test_title(self):
+        chart = bar_chart(["a"], [1.0], title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "█" not in chart
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["x", "longer"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestSeriesGrid:
+    def test_basic_render(self):
+        grid = series_grid(
+            [2, 4, 8],
+            {"LTC": [0.9, 0.95, 1.0], "SS": [0.5, 0.7, 0.9]},
+            height=5,
+        )
+        assert "o=LTC" in grid
+        assert "x=SS" in grid
+        assert "high" in grid and "low" in grid
+
+    def test_highest_value_on_top_row(self):
+        grid = series_grid([1, 2], {"s": [0.0, 1.0]}, height=4)
+        rows = grid.splitlines()[1:5]  # grid body (no title: header is line 0)
+        assert "o" in rows[0]  # max value on the top row
+        assert "o" in rows[-1]  # min value on the bottom row
+
+    def test_log_scale(self):
+        grid = series_grid(
+            [1, 2], {"are": [0.001, 100.0]}, height=4, log_scale=True
+        )
+        assert "log10" in grid
+
+    def test_log_scale_handles_zero(self):
+        grid = series_grid([1, 2], {"a": [0.0, 10.0]}, height=4, log_scale=True)
+        assert "low" in grid
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            series_grid([1], {})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            series_grid([1, 2], {"a": [1.0]})
+
+    def test_overlap_marker(self):
+        grid = series_grid([1], {"a": [5.0], "b": [5.0]}, height=3)
+        assert "*" in grid

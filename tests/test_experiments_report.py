@@ -1,0 +1,30 @@
+"""ASCII table formatter."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [["a", 1], ["longer", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "---" in lines[2]
+        assert lines[3].index("1") == lines[4].index("2")
+
+    def test_no_title(self):
+        table = format_table(["h"], [["x"]])
+        assert table.splitlines()[0].startswith("h")
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(["h"], [["wide-cell-content"]])
+        header, sep, row = table.splitlines()
+        assert len(sep) >= len("wide-cell-content")
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2

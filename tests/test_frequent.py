@@ -1,0 +1,74 @@
+"""Frequent / Misra–Gries: the deterministic N/(k+1) guarantee."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.metrics.memory import MemoryBudget, kb
+from repro.summaries.frequent import Frequent
+
+
+class TestGuarantees:
+    def test_mg_two_sided_bound(self, small_zipf, small_zipf_truth):
+        """f − N/(k+1) ≤ f̂ ≤ f for every item (tracked or not)."""
+        capacity = 100
+        mg = Frequent(capacity=capacity)
+        small_zipf.run(mg)
+        slack = len(small_zipf) / (capacity + 1)
+        for item in small_zipf_truth.items()[:500]:
+            real = small_zipf_truth.frequency(item)
+            est = mg.query(item)
+            assert est <= real
+            assert est >= real - slack
+
+    def test_exact_when_capacity_covers_distinct(self):
+        events = [1, 1, 2, 3, 3, 3]
+        mg = Frequent(capacity=10)
+        for item in events:
+            mg.insert(item)
+        counts = Counter(events)
+        for item, real in counts.items():
+            assert mg.query(item) == real
+
+    def test_majority_item_always_tracked(self):
+        events = [7] * 60 + list(range(50))
+        import random
+
+        random.Random(3).shuffle(events)
+        mg = Frequent(capacity=4)
+        for item in events:
+            mg.insert(item)
+        assert mg.query(7) > 0
+
+    def test_capacity_respected(self):
+        mg = Frequent(capacity=5)
+        for item in range(1_000):
+            mg.insert(item)
+        assert len(mg) <= 5
+
+
+class TestBehaviour:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Frequent(0)
+
+    def test_decrement_evicts_zeros(self):
+        mg = Frequent(capacity=2)
+        mg.insert(1)
+        mg.insert(2)
+        mg.insert(3)  # decrement-all: both fall to 0 and are purged
+        assert len(mg) == 0
+        assert mg.decrements == 1
+
+    def test_top_k_order(self):
+        mg = Frequent(capacity=10)
+        for item, count in [(1, 5), (2, 9), (3, 2)]:
+            for _ in range(count):
+                mg.insert(item)
+        top = mg.top_k(3)
+        assert [r.item for r in top] == [2, 1, 3]
+
+    def test_from_memory(self):
+        assert Frequent.from_memory(MemoryBudget(kb(1))).capacity == 128

@@ -1,0 +1,85 @@
+"""Exact oracle vs brute force."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.streams.ground_truth import GroundTruth
+from tests.conftest import make_stream
+
+
+class TestExactness:
+    def test_frequencies_match_counter(self, small_zipf, small_zipf_truth):
+        counts = Counter(small_zipf.events)
+        for item, f in list(counts.items())[:200]:
+            assert small_zipf_truth.frequency(item) == f
+
+    def test_persistency_brute_force(self):
+        stream = make_stream([1, 1, 2, 1, 3, 3, 2, 2, 1, 3], num_periods=5)
+        truth = GroundTruth(stream)
+        # Periods: [1,1] [2,1] [3,3] [2,2] [1,3]
+        assert truth.persistency(1) == 3
+        assert truth.persistency(2) == 2
+        assert truth.persistency(3) == 2
+
+    def test_duplicates_in_period_count_once(self):
+        stream = make_stream([7] * 10, num_periods=2)
+        truth = GroundTruth(stream)
+        assert truth.frequency(7) == 10
+        assert truth.persistency(7) == 2
+
+    def test_unknown_item_is_zero(self, small_zipf_truth):
+        assert small_zipf_truth.frequency(2**40) == 0
+        assert small_zipf_truth.persistency(2**40) == 0
+        assert small_zipf_truth.significance(2**40, 1, 1) == 0
+
+    def test_persistency_never_exceeds_frequency_or_periods(
+        self, small_zipf, small_zipf_truth
+    ):
+        for item in small_zipf_truth.items()[:500]:
+            p = small_zipf_truth.persistency(item)
+            assert p <= small_zipf_truth.frequency(item)
+            assert p <= small_zipf.num_periods
+
+    def test_num_distinct(self):
+        truth = GroundTruth(make_stream([1, 1, 2, 3], num_periods=2))
+        assert truth.num_distinct == 3
+
+
+class TestTopK:
+    def test_significance_combination(self):
+        stream = make_stream([1, 1, 1, 1, 2, 2, 2, 2], num_periods=4)
+        truth = GroundTruth(stream)
+        # Periods: [1,1] [1,1] [2,2] [2,2] → f1=f2=4, p1=p2=2.
+        assert truth.significance(1, 1.0, 1.0) == 6.0
+        assert truth.significance(1, 0.0, 1.0) == 2.0
+
+    def test_top_k_ordering(self, small_zipf_truth):
+        top = small_zipf_truth.top_k(50, 1.0, 1.0)
+        sigs = [sig for _, sig in top]
+        assert sigs == sorted(sigs, reverse=True)
+
+    def test_top_k_deterministic_tie_break(self):
+        stream = make_stream([5, 6, 7, 8], num_periods=2)
+        truth = GroundTruth(stream)
+        assert truth.top_k(2, 1.0, 0.0) == [(5, 1.0), (6, 1.0)]
+
+    def test_top_k_items_set(self, small_zipf_truth):
+        items = small_zipf_truth.top_k_items(25, 1.0, 0.0)
+        assert len(items) == 25
+
+    def test_alpha_beta_change_ranking(self):
+        # Item 1: frequent but bursty (one period); item 2: less frequent
+        # but present in every remaining period.
+        events = [1, 1, 1, 1, 2, 3, 4, 5, 2, 6, 7, 8, 2, 9, 10, 11]
+        stream = make_stream(events, num_periods=4)
+        truth = GroundTruth(stream)
+        by_freq = truth.top_k_items(1, 1.0, 0.0)
+        by_pers = truth.top_k_items(1, 0.0, 1.0)
+        assert by_freq == {1}
+        assert by_pers == {2}
+
+    def test_frequencies_sorted(self, small_zipf_truth):
+        freqs = small_zipf_truth.frequencies_sorted()
+        assert freqs == sorted(freqs, reverse=True)
+        assert sum(freqs) == small_zipf_truth.num_events

@@ -1,0 +1,83 @@
+"""Bob Hash (lookup3 hashlittle) — pinned to the C reference vectors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.bobhash import BobHash, bob_hash
+
+
+class TestReferenceVectors:
+    """Vectors from the lookup3.c self-test driver."""
+
+    def test_four_score_seed0(self):
+        assert bob_hash(b"Four score and seven years ago", 0) == 0x17770551
+
+    def test_four_score_seed1(self):
+        assert bob_hash(b"Four score and seven years ago", 1) == 0xCD628161
+
+    def test_empty_seed0(self):
+        # hashlittle("", 0) returns the raw initial c = 0xdeadbeef.
+        assert bob_hash(b"", 0) == 0xDEADBEEF
+
+    def test_empty_seed_offsets_initial(self):
+        assert bob_hash(b"", 5) == 0xDEADBEEF + 5
+
+
+class TestBasicProperties:
+    def test_deterministic(self):
+        assert bob_hash(b"abc", 3) == bob_hash(b"abc", 3)
+
+    def test_seed_changes_value(self):
+        assert bob_hash(b"abc", 0) != bob_hash(b"abc", 1)
+
+    def test_data_changes_value(self):
+        assert bob_hash(b"abc", 0) != bob_hash(b"abd", 0)
+
+    def test_output_is_32_bit(self):
+        for data in (b"", b"x", b"x" * 11, b"x" * 12, b"x" * 13, b"x" * 100):
+            value = bob_hash(data, 123)
+            assert 0 <= value <= 0xFFFFFFFF
+
+    @pytest.mark.parametrize("length", list(range(0, 26)))
+    def test_all_tail_lengths(self, length):
+        """Exercise every tail-switch branch (0–12 residual bytes)."""
+        data = bytes(range(length))
+        assert 0 <= bob_hash(data, 7) <= 0xFFFFFFFF
+
+    @given(st.binary(max_size=64), st.integers(0, 2**32 - 1))
+    def test_range_property(self, data, seed):
+        assert 0 <= bob_hash(data, seed) <= 0xFFFFFFFF
+
+
+class TestBobHashCallable:
+    def test_int_keys_consistent(self):
+        h = BobHash(seed=9)
+        assert h(12345) == h(12345)
+
+    def test_int_and_equivalent_bytes(self):
+        h = BobHash(seed=9)
+        assert h(1) == h((1).to_bytes(8, "little"))
+
+    def test_str_key(self):
+        h = BobHash()
+        assert h("hello") == h("hello")
+        assert h("hello") != h("hellp")
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            BobHash()(3.14)
+
+    def test_bucket_in_range(self):
+        h = BobHash(seed=2)
+        for key in range(200):
+            assert 0 <= h.bucket(key, 17) < 17
+
+    def test_bucket_distribution_roughly_uniform(self):
+        h = BobHash(seed=4)
+        counts = [0] * 16
+        for key in range(4096):
+            counts[h.bucket(key, 16)] += 1
+        assert max(counts) < 2 * min(counts)

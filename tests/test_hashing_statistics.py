@@ -1,0 +1,93 @@
+"""Statistical quality of the hash functions (what the accuracy of every
+summary ultimately rests on)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.hashing.bobhash import bob_hash
+from repro.hashing.family import HashFamily, splitmix64
+
+
+def chi_square_uniform(counts) -> float:
+    """Chi-square statistic against the uniform distribution."""
+    total = sum(counts)
+    expected = total / len(counts)
+    return sum((c - expected) ** 2 / expected for c in counts)
+
+
+class TestSplitmixQuality:
+    def test_per_bit_balance(self):
+        """Each output bit is ~50/50 over sequential inputs."""
+        ones = [0] * 64
+        n = 20_000
+        for x in range(n):
+            h = splitmix64(x)
+            for bit in range(64):
+                ones[bit] += h >> bit & 1
+        for bit in range(64):
+            assert 0.46 < ones[bit] / n < 0.54, f"bit {bit} biased"
+
+    def test_avalanche_mean(self):
+        """A single flipped input bit flips ~32 output bits on average."""
+        rng = random.Random(1)
+        total_flips = 0
+        trials = 4_000
+        for _ in range(trials):
+            x = rng.getrandbits(64)
+            bit = 1 << rng.randrange(64)
+            total_flips += bin(splitmix64(x) ^ splitmix64(x ^ bit)).count("1")
+        mean = total_flips / trials
+        assert 30 < mean < 34
+
+    def test_bucket_chi_square(self):
+        """Sequential keys into 64 buckets pass a loose chi-square check
+        (df=63; values under ~120 are unremarkable)."""
+        counts = [0] * 64
+        family = HashFamily(seed=17)
+        for key in range(32_000):
+            counts[family.bucket(0, key, 64)] += 1
+        assert chi_square_uniform(counts) < 150
+
+    def test_family_members_uncorrelated(self):
+        """Two members agree on bucket placement at ≈ the 1/n rate."""
+        family = HashFamily(seed=23)
+        n = 64
+        agreements = sum(
+            1
+            for key in range(20_000)
+            if family.bucket(0, key, n) == family.bucket(1, key, n)
+        )
+        rate = agreements / 20_000
+        assert abs(rate - 1 / n) < 0.01
+
+
+class TestBobHashQuality:
+    def test_bucket_chi_square(self):
+        counts = [0] * 64
+        for key in range(16_000):
+            counts[bob_hash(key.to_bytes(8, "little"), 7) % 64] += 1
+        assert chi_square_uniform(counts) < 150
+
+    def test_avalanche_mean(self):
+        """~16 of 32 output bits flip per flipped input bit."""
+        rng = random.Random(2)
+        total = 0
+        trials = 2_000
+        for _ in range(trials):
+            x = rng.getrandbits(64)
+            bit = rng.randrange(64)
+            a = bob_hash(x.to_bytes(8, "little"), 0)
+            b = bob_hash((x ^ (1 << bit)).to_bytes(8, "little"), 0)
+            total += bin(a ^ b).count("1")
+        mean = total / trials
+        assert 14 < mean < 18
+
+    def test_seeds_decorrelate(self):
+        matches = sum(
+            1
+            for key in range(10_000)
+            if bob_hash(key.to_bytes(8, "little"), 1) % 64
+            == bob_hash(key.to_bytes(8, "little"), 2) % 64
+        )
+        assert abs(matches / 10_000 - 1 / 64) < 0.01

@@ -1,0 +1,122 @@
+"""TopKHeap: bounded indexed min-heap semantics and invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summaries.heap import TopKHeap
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+
+    def test_min_value_zero_until_full(self):
+        heap = TopKHeap(3)
+        heap.offer(1, 10.0)
+        assert heap.min_value() == 0.0
+        heap.offer(2, 5.0)
+        heap.offer(3, 7.0)
+        assert heap.min_value() == 5.0
+
+    def test_contains_and_value_of(self):
+        heap = TopKHeap(2)
+        heap.offer(9, 4.0)
+        assert 9 in heap
+        assert heap.value_of(9) == 4.0
+        assert heap.value_of(8) == 0.0
+
+    def test_replace_min_when_full(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 1.0)
+        heap.offer(2, 2.0)
+        heap.offer(3, 5.0)  # evicts item 1
+        assert 1 not in heap
+        assert set(dict(heap.items())) == {2, 3}
+
+    def test_rejects_smaller_than_min_when_full(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 10.0)
+        heap.offer(2, 20.0)
+        heap.offer(3, 5.0)
+        assert 3 not in heap
+
+    def test_update_increases_value(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 1.0)
+        heap.offer(2, 2.0)
+        heap.offer(1, 50.0)
+        assert heap.value_of(1) == 50.0
+        assert heap.min_value() == 2.0
+
+    def test_update_can_decrease_value(self):
+        heap = TopKHeap(2)
+        heap.offer(1, 10.0)
+        heap.offer(2, 20.0)
+        heap.offer(2, 1.0)
+        assert heap.min_value() == 1.0
+
+    def test_best_sorted_descending(self):
+        heap = TopKHeap(5)
+        for item, value in [(1, 3.0), (2, 9.0), (3, 1.0), (4, 9.0)]:
+            heap.offer(item, value)
+        best = heap.best()
+        assert [v for _, v in best] == sorted([3.0, 9.0, 1.0, 9.0], reverse=True)
+        # Equal values tie-break by item id.
+        assert best[0] == (2, 9.0)
+        assert best[1] == (4, 9.0)
+
+    def test_best_limited(self):
+        heap = TopKHeap(5)
+        for i in range(5):
+            heap.offer(i, float(i))
+        assert len(heap.best(2)) == 2
+
+    def test_len(self):
+        heap = TopKHeap(3)
+        heap.offer(1, 1.0)
+        heap.offer(2, 2.0)
+        assert len(heap) == 2
+
+
+class TestAgainstReference:
+    """The heap must track exactly the top-k of a monotone estimate stream."""
+
+    def test_monotone_offers_keep_topk(self):
+        heap = TopKHeap(10)
+        counts: dict = {}
+        import random
+
+        rng = random.Random(5)
+        for _ in range(3_000):
+            item = rng.randrange(100)
+            counts[item] = counts.get(item, 0) + 1
+            heap.offer(item, float(counts[item]))
+            assert heap.check_invariant()
+        ranked = sorted(counts.values(), reverse=True)
+        boundary = ranked[9]
+        got = {i for i, _ in heap.best()}
+        # With monotone values every item strictly above the boundary count
+        # must be tracked (ties at the boundary may go either way), and
+        # every tracked item must have at least the boundary count.
+        for item, count in counts.items():
+            if count > boundary:
+                assert item in got
+        assert all(counts[item] >= boundary for item in got)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.floats(0.0, 100.0, allow_nan=False)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_property(self, offers):
+        heap = TopKHeap(7)
+        for item, value in offers:
+            heap.offer(item, value)
+        assert heap.check_invariant()
+        assert len(heap) <= 7

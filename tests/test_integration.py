@@ -1,0 +1,128 @@
+"""End-to-end integration: the paper's headline claims on scaled-down
+workloads.  These are the 'shape' assertions the benchmarks print in full."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import (
+    default_algorithms_frequent,
+    default_algorithms_persistent,
+    default_algorithms_significant,
+)
+from repro.experiments.runner import run_and_evaluate
+from repro.metrics.memory import MemoryBudget, kb
+from repro.streams.datasets import network_like
+from repro.streams.ground_truth import GroundTruth
+
+
+@pytest.fixture(scope="module")
+def workload():
+    stream = network_like(num_events=30_000, num_distinct=8_000, num_periods=30)
+    return stream, GroundTruth(stream)
+
+
+class TestFrequentItems:
+    """Fig. 9/10 shape: LTC has the best precision and ARE."""
+
+    def test_ltc_wins_at_tight_memory(self, workload):
+        stream, truth = workload
+        budget = MemoryBudget(kb(5))
+        results = {
+            r.name: r
+            for r in run_and_evaluate(
+                default_algorithms_frequent(budget, stream, 100),
+                stream,
+                100,
+                1.0,
+                0.0,
+                truth,
+            )
+        }
+        ltc = results.pop("LTC")
+        assert all(ltc.precision >= r.precision for r in results.values())
+        assert all(ltc.are <= r.are for r in results.values())
+        assert ltc.precision >= 0.8
+
+    def test_ltc_near_perfect_with_ample_memory(self, workload):
+        stream, truth = workload
+        budget = MemoryBudget(kb(50))
+        results = run_and_evaluate(
+            {"LTC": default_algorithms_frequent(budget, stream, 100)["LTC"]},
+            stream,
+            100,
+            1.0,
+            0.0,
+            truth,
+        )
+        assert results[0].precision >= 0.99
+        assert results[0].are <= 0.01
+
+
+class TestPersistentItems:
+    """Fig. 12/13 shape: LTC beats PIE and the sketch adaptations."""
+
+    def test_ltc_wins(self, workload):
+        stream, truth = workload
+        budget = MemoryBudget(kb(25))
+        results = {
+            r.name: r
+            for r in run_and_evaluate(
+                default_algorithms_persistent(budget, stream, 100),
+                stream,
+                100,
+                0.0,
+                1.0,
+                truth,
+            )
+        }
+        ltc = results.pop("LTC")
+        assert all(ltc.precision >= r.precision for r in results.values())
+        assert ltc.are <= min(r.are for r in results.values()) + 1e-9
+
+
+class TestSignificantItems:
+    """Fig. 14/15 shape: LTC beats the combined two-structure baseline for
+    every (α, β) pairing the paper tests."""
+
+    @pytest.mark.parametrize("alpha,beta", [(1.0, 10.0), (1.0, 1.0), (10.0, 1.0)])
+    def test_ltc_wins(self, workload, alpha, beta):
+        stream, truth = workload
+        budget = MemoryBudget(kb(10))
+        results = {
+            r.name: r
+            for r in run_and_evaluate(
+                default_algorithms_significant(budget, stream, 100, alpha, beta),
+                stream,
+                100,
+                alpha,
+                beta,
+                truth,
+            )
+        }
+        ltc = results.pop("LTC")
+        assert all(ltc.precision >= r.precision for r in results.values())
+        assert all(ltc.are <= r.are for r in results.values())
+        assert ltc.precision >= 0.85
+
+
+class TestMemoryScaling:
+    def test_ltc_precision_monotone_in_memory(self, workload):
+        """More memory never hurts (up to small noise)."""
+        stream, truth = workload
+        exact = truth.top_k_items(100, 1.0, 1.0)
+
+        def precision_at(kb_budget: float) -> float:
+            from repro.experiments.configs import ltc_factory
+            from repro.metrics.accuracy import precision as prec
+
+            ltc = ltc_factory(
+                MemoryBudget(kb(kb_budget)), stream, alpha=1.0, beta=1.0
+            )()
+            stream.run(ltc)
+            return prec((r.item for r in ltc.top_k(100)), exact)
+
+        p_small_mem = precision_at(4)
+        p_large_mem = precision_at(40)
+        assert p_large_mem >= p_small_mem
+        assert p_large_mem >= 0.95

@@ -1,0 +1,100 @@
+"""KeyedSummary: arbitrary identifiers over integer-keyed summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LTCConfig
+from repro.core.keyed import KeyedSummary
+from repro.core.ltc import LTC
+from repro.summaries.space_saving import SpaceSaving
+
+
+def keyed_ltc(reverse_capacity=1024) -> KeyedSummary:
+    inner = LTC(
+        LTCConfig(
+            num_buckets=8,
+            bucket_width=8,
+            alpha=1.0,
+            beta=1.0,
+            items_per_period=4,
+        )
+    )
+    return KeyedSummary(inner, reverse_capacity=reverse_capacity)
+
+
+class TestBasics:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            KeyedSummary(SpaceSaving(4), reverse_capacity=0)
+
+    def test_string_keys_roundtrip(self):
+        summary = keyed_ltc()
+        for _ in range(5):
+            summary.insert("alice")
+        summary.insert("bob")
+        summary.end_period()
+        summary.finalize()
+        top = summary.top_k(2)
+        assert top[0].item == "alice"
+        assert top[0].frequency == 5.0
+        assert summary.query("alice") > summary.query("bob")
+
+    def test_mixed_key_types(self):
+        summary = keyed_ltc()
+        summary.insert("x")
+        summary.insert(b"x")  # same canonical key as the str
+        summary.insert(7)
+        assert summary.query("x") == summary.query(b"x")
+        assert summary.query(7) == 2.0 or summary.query(7) >= 1.0
+
+    def test_unknown_key_queries_zero(self):
+        summary = keyed_ltc()
+        summary.insert("seen")
+        assert summary.query("never") == 0.0
+
+    def test_wraps_any_summary(self):
+        summary = KeyedSummary(SpaceSaving(8))
+        for name in ("a", "a", "b"):
+            summary.insert(name)
+        assert summary.top_k(1)[0].item == "a"
+
+    def test_period_forwarding(self):
+        from repro.membership.bloom import BloomFilter
+        from repro.persistent.sketch_persistent import SketchPersistent
+        from repro.sketches.count_min import CountMinSketch
+
+        inner = SketchPersistent(
+            CountMinSketch(1024, rows=3), BloomFilter(1 << 14), k=5
+        )
+        summary = KeyedSummary(inner)
+        for _ in range(3):
+            summary.insert("site")
+            summary.insert("site")
+            summary.end_period()
+        assert summary.query("site") == 3.0
+
+
+class TestReverseMapCap:
+    def test_eviction_falls_back_to_integer(self):
+        summary = keyed_ltc(reverse_capacity=4)
+        for i in range(20):
+            summary.insert(f"key-{i}")
+        # Early keys' reverse mappings were evicted; reports still work.
+        reports = summary.top_k(50)
+        assert reports
+        assert all(r.item is not None for r in reports)
+
+    def test_hot_key_mapping_retained(self):
+        summary = keyed_ltc(reverse_capacity=4)
+        for i in range(50):
+            summary.insert("hot")
+            summary.insert(f"cold-{i}")
+        top = summary.top_k(1)
+        assert top[0].item == "hot"
+
+    def test_map_size_bounded(self):
+        summary = keyed_ltc(reverse_capacity=16)
+        for i in range(1_000):
+            summary.insert(f"k{i}")
+        assert len(summary._original) <= 16

@@ -1,0 +1,84 @@
+"""Lossy Counting: pruning rule, hard cap, and error guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.memory import MemoryBudget, kb
+from repro.summaries.lossy_counting import LossyCounting
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LossyCounting(0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            LossyCounting(10, epsilon=0.0)
+
+    def test_default_epsilon(self):
+        lc = LossyCounting(100)
+        assert lc.epsilon == 0.02
+        assert lc.bucket_width == 50
+
+    def test_from_memory(self):
+        lc = LossyCounting.from_memory(MemoryBudget(kb(1)))
+        assert lc.capacity == 128
+
+
+class TestGuarantees:
+    def test_underestimates_only(self, small_zipf, small_zipf_truth):
+        """LC counts from entry creation, so f̂ ≤ f always."""
+        lc = LossyCounting(capacity=128)
+        small_zipf.run(lc)
+        for report in lc.top_k(128):
+            assert report.frequency <= small_zipf_truth.frequency(report.item)
+
+    def test_epsilon_error_bound_for_survivors(self, small_zipf, small_zipf_truth):
+        """Classic LC guarantee: f − f̂ ≤ εN for surviving entries."""
+        lc = LossyCounting(capacity=512)
+        small_zipf.run(lc)
+        allowance = lc.epsilon * len(small_zipf) + lc.bucket_width
+        for report in lc.top_k(512):
+            real = small_zipf_truth.frequency(report.item)
+            assert real - report.frequency <= allowance
+
+    def test_heavy_hitters_survive(self, small_zipf, small_zipf_truth):
+        lc = LossyCounting(capacity=256)
+        small_zipf.run(lc)
+        reported = {r.item for r in lc.top_k(256)}
+        for item, _ in small_zipf_truth.top_k(10, 1.0, 0.0):
+            assert item in reported
+
+    def test_capacity_never_exceeded(self):
+        lc = LossyCounting(capacity=50)
+        for item in range(5_000):
+            lc.insert(item)
+            assert len(lc) <= 50
+
+
+class TestBehaviour:
+    def test_repeated_item_counts(self):
+        lc = LossyCounting(capacity=10)
+        for _ in range(7):
+            lc.insert(1)
+        assert lc.query(1) == 7.0
+
+    def test_query_unknown(self):
+        lc = LossyCounting(capacity=10)
+        assert lc.query(123) == 0.0
+
+    def test_pruning_drops_singletons(self):
+        """After a full bucket of distinct items, singletons are pruned."""
+        lc = LossyCounting(capacity=1_000, epsilon=0.1)  # bucket width 10
+        for item in range(10):
+            lc.insert(item)
+        # Boundary hit at the 10th insert: entries with count + Δ ≤ 1 go.
+        assert len(lc) == 0
+
+    def test_frequent_item_survives_pruning(self):
+        lc = LossyCounting(capacity=1_000, epsilon=0.1)
+        for i in range(10):
+            lc.insert(1 if i % 2 == 0 else 100 + i)
+        assert lc.query(1) > 0

@@ -1,0 +1,125 @@
+"""LT fountain code: chunking, degree distribution, peel decoding."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.lt import LTCode, RobustSoliton, join_chunks, split_chunks
+
+
+class TestChunking:
+    def test_roundtrip(self):
+        for value in (0, 1, 0xDEADBEEF, 2**32 - 1):
+            chunks = split_chunks(value, 4, 8)
+            assert join_chunks(chunks, 8) == value
+
+    def test_chunk_widths(self):
+        chunks = split_chunks(0x12345678, 2, 16)
+        assert chunks == [0x5678, 0x1234]
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_roundtrip_property(self, value):
+        assert join_chunks(split_chunks(value, 4, 8), 8) == value
+
+
+class TestRobustSoliton:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            RobustSoliton(0)
+
+    def test_degrees_in_range(self):
+        soliton = RobustSoliton(10)
+        rng = random.Random(1)
+        for _ in range(500):
+            assert 1 <= soliton.degree(rng.random()) <= 10
+
+    def test_cdf_reaches_one(self):
+        soliton = RobustSoliton(10)
+        assert soliton._cdf[-1] == pytest.approx(1.0)
+
+    def test_degree_one_possible(self):
+        """Peeling needs degree-1 symbols to start."""
+        soliton = RobustSoliton(10)
+        assert soliton.degree(0.0) == 1
+
+    def test_n_equal_one(self):
+        soliton = RobustSoliton(1)
+        assert soliton.degree(0.5) == 1
+
+
+class TestLTCode:
+    def test_neighbors_deterministic(self):
+        code = LTCode(num_source=4, seed=3)
+        assert code.neighbors(17) == code.neighbors(17)
+
+    def test_neighbors_nonempty_sorted_unique(self):
+        code = LTCode(num_source=5, seed=3)
+        for idx in range(200):
+            neighbors = code.neighbors(idx)
+            assert neighbors
+            assert neighbors == sorted(set(neighbors))
+            assert all(0 <= j < 5 for j in neighbors)
+
+    def test_uniform_mode_neighbors(self):
+        code = LTCode(num_source=3, seed=3, degree="uniform")
+        masks = {tuple(code.neighbors(i)) for i in range(300)}
+        # All 7 non-empty subsets of 3 chunks should occur.
+        assert len(masks) == 7
+
+    def test_rejects_bad_degree_mode(self):
+        with pytest.raises(ValueError):
+            LTCode(degree="weird")
+
+    def test_encode_is_xor_of_neighbors(self):
+        code = LTCode(num_source=4, chunk_bits=8, seed=5)
+        value = 0xA1B2C3D4
+        chunks = split_chunks(value, 4, 8)
+        for idx in range(50):
+            expected = 0
+            for j in code.neighbors(idx):
+                expected ^= chunks[j]
+            assert code.encode(value, idx) == expected
+
+    def test_decode_roundtrip_with_many_symbols(self):
+        code = LTCode(num_source=4, chunk_bits=8, seed=5)
+        rng = random.Random(4)
+        successes = 0
+        for _ in range(100):
+            value = rng.getrandbits(32)
+            symbols = [(i, code.encode(value, i)) for i in rng.sample(range(1000), 12)]
+            if code.decode(symbols) == value:
+                successes += 1
+        # 12 symbols for 4 chunks: peeling succeeds in the vast majority.
+        assert successes >= 85
+
+    def test_decode_underdetermined_returns_none(self):
+        code = LTCode(num_source=4, chunk_bits=8, seed=5)
+        value = 0x12345678
+        assert code.decode([(0, code.encode(value, 0))]) is None or isinstance(
+            code.decode([(0, code.encode(value, 0))]), int
+        )
+
+    def test_decode_empty(self):
+        code = LTCode(num_source=2)
+        assert code.decode([]) is None
+
+    def test_decode_inconsistent_mixture_rejected(self):
+        """Symbols from two different identifiers must not decode cleanly
+        to either of them (consistency check)."""
+        code = LTCode(num_source=4, chunk_bits=8, seed=5)
+        rng = random.Random(9)
+        clean_decodes = 0
+        for _ in range(100):
+            a, b = rng.getrandbits(32), rng.getrandbits(32)
+            idxs = rng.sample(range(1000), 12)
+            symbols = [
+                (i, code.encode(a if n % 2 else b, i)) for n, i in enumerate(idxs)
+            ]
+            decoded = code.decode(symbols)
+            if decoded in (a, b):
+                clean_decodes += 1
+        assert clean_decodes == 0

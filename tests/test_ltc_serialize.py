@@ -1,0 +1,184 @@
+"""LTC serialization: state and binary round-trips."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LTCConfig
+from repro.core.ltc import LTC
+from repro.core.serialize import from_bytes, from_state, to_bytes, to_state
+from tests.conftest import make_stream
+
+
+def build_ltc(events, num_periods=4, **overrides) -> LTC:
+    cfg = dict(
+        num_buckets=3,
+        bucket_width=4,
+        alpha=1.0,
+        beta=2.0,
+        items_per_period=max(1, len(events) // num_periods),
+        seed=0xABC,
+    )
+    cfg.update(overrides)
+    ltc = LTC(LTCConfig(**cfg))
+    stream = make_stream(events, num_periods=min(num_periods, max(len(events), 1)))
+    for period in stream.iter_periods():
+        for item in period:
+            ltc.insert(item)
+        ltc.end_period()
+    return ltc  # intentionally NOT finalized: mid-stream checkpoint
+
+
+def snapshots_equal(a: LTC, b: LTC) -> bool:
+    return list(a.cells()) == list(b.cells())
+
+
+class TestStateRoundTrip:
+    def test_cells_survive(self):
+        ltc = build_ltc([1, 2, 1, 3, 1, 2, 4, 5])
+        restored = from_state(to_state(ltc))
+        assert snapshots_equal(ltc, restored)
+
+    def test_json_safe(self):
+        import json
+
+        ltc = build_ltc([1, 2, 3])
+        blob = json.dumps(to_state(ltc))
+        restored = from_state(json.loads(blob))
+        assert snapshots_equal(ltc, restored)
+
+    def test_rejects_mismatched_cells(self):
+        state = to_state(build_ltc([1, 2]))
+        state["cells"] = state["cells"][:-1]
+        with pytest.raises(ValueError):
+            from_state(state)
+
+    def test_resumed_ltc_continues_identically(self):
+        """A checkpoint/restore mid-stream must not change the outcome."""
+        rng = random.Random(3)
+        events = [rng.randrange(30) for _ in range(400)]
+        half = len(events) // 2
+
+        straight = build_ltc(events, num_periods=8)
+
+        first = build_ltc(events[:half], num_periods=4)
+        resumed = from_state(to_state(first))
+        stream2 = make_stream(events[half:], num_periods=4)
+        for period in stream2.iter_periods():
+            for item in period:
+                resumed.insert(item)
+            resumed.end_period()
+
+        assert snapshots_equal(straight, resumed)
+
+
+class TestBytesRoundTrip:
+    def test_cells_survive(self):
+        ltc = build_ltc([5, 5, 6, 7, 8, 5])
+        restored = from_bytes(to_bytes(ltc))
+        assert snapshots_equal(ltc, restored)
+
+    def test_config_survives(self):
+        ltc = build_ltc(
+            [1, 2, 3],
+            deviation_eliminator=False,
+            replacement_policy="space-saving",
+            seed=99,
+        )
+        restored = from_bytes(to_bytes(ltc))
+        assert restored.config == ltc.config
+
+    def test_queries_survive(self):
+        ltc = build_ltc([1, 1, 2, 3, 1, 2])
+        restored = from_bytes(to_bytes(ltc))
+        for item in (1, 2, 3, 99):
+            assert restored.estimate(item) == ltc.estimate(item)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            from_bytes(b"XXXX" + b"\x00" * 64)
+
+    def test_trailing_bytes_rejected(self):
+        blob = to_bytes(build_ltc([1]))
+        with pytest.raises(ValueError, match="trailing"):
+            from_bytes(blob + b"\x00")
+
+    def test_size_matches_cell_count(self):
+        ltc = build_ltc([1, 2, 3])
+        blob = to_bytes(ltc)
+        from repro.core.serialize import _CELL, _HEADER
+
+        assert len(blob) == _HEADER.size + ltc.total_cells * _CELL.size
+
+    @given(st.lists(st.integers(0, 40), max_size=200), st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, events, periods):
+        ltc = build_ltc(events, num_periods=max(1, min(periods, len(events) or 1)))
+        restored = from_bytes(to_bytes(ltc))
+        assert snapshots_equal(ltc, restored)
+        # And the restored structure keeps working.
+        restored.insert(7)
+        ltc.insert(7)
+        assert snapshots_equal(ltc, restored)
+
+
+class TestCorruptionRobustness:
+    def test_truncated_blob_rejected(self):
+        blob = to_bytes(build_ltc([1, 2, 3]))
+        with pytest.raises((ValueError, Exception)):
+            from_bytes(blob[: len(blob) // 2])
+
+    def test_corrupt_policy_code_rejected(self):
+        blob = bytearray(to_bytes(build_ltc([1, 2, 3])))
+        # Policy-code byte offset in "<4sIIddIBBBxIIIqQ":
+        # 4+4+4+8+8+4 (through items_per_period) + 2 (de, ltr) = 34.
+        blob[34] = 250
+        with pytest.raises((KeyError, ValueError)):
+            from_bytes(bytes(blob))
+
+    def test_header_only_blob_rejected(self):
+        from repro.core.serialize import _HEADER
+
+        blob = to_bytes(build_ltc([1]))
+        with pytest.raises(Exception):
+            from_bytes(blob[: _HEADER.size - 1])
+
+
+class TestFormatStability:
+    """Golden-image test: the binary layout is a persistence format, so
+    accidental drift (field reorder, width change) must fail loudly."""
+
+    GOLDEN_HEX = (
+        "4c5443310100000002000000000000000000f03f0000000000000040030000000101"
+        "0000010000000000000000000000000000000000000007000000000000000a000000"
+        "000000000200000000000000010b00000000000000010000000000000001"
+    )
+
+    def make_golden_ltc(self) -> LTC:
+        ltc = LTC(
+            LTCConfig(
+                num_buckets=1,
+                bucket_width=2,
+                alpha=1.0,
+                beta=2.0,
+                items_per_period=3,
+                seed=7,
+            )
+        )
+        for item in (10, 10, 11):
+            ltc.insert(item)
+        ltc.end_period()
+        return ltc
+
+    def test_serialisation_matches_golden_image(self):
+        assert to_bytes(self.make_golden_ltc()).hex() == self.GOLDEN_HEX
+
+    def test_golden_image_deserialises(self):
+        restored = from_bytes(bytes.fromhex(self.GOLDEN_HEX))
+        assert restored.estimate(10) == (2, 0)
+        assert restored.estimate(11) == (1, 0)
+        assert restored.config.beta == 2.0

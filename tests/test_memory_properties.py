@@ -1,0 +1,71 @@
+"""Property-based tests of the memory model's sizing rules."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.memory import (
+    COUNTER_CELL_BYTES,
+    LTC_CELL_BYTES,
+    STBF_CELL_BYTES,
+    MemoryBudget,
+)
+
+budgets = st.integers(64, 10_000_000).map(MemoryBudget)
+
+
+class TestSizingProperties:
+    @given(budgets, st.integers(1, 32))
+    @settings(max_examples=100, deadline=None)
+    def test_ltc_never_exceeds_budget(self, budget, d):
+        cells = budget.ltc_buckets(d) * d
+        # Sizing may round the bucket count down to at least one bucket;
+        # above that floor it must respect the budget.
+        if budget.ltc_buckets(d) > 1:
+            assert cells * LTC_CELL_BYTES <= budget.total_bytes
+
+    @given(budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_counter_cells_fit(self, budget):
+        assert (
+            budget.counter_cells() * COUNTER_CELL_BYTES <= budget.total_bytes
+            or budget.counter_cells() == 1
+        )
+
+    @given(budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_stbf_cells_fit(self, budget):
+        assert (
+            budget.stbf_cells() * STBF_CELL_BYTES <= budget.total_bytes
+            or budget.stbf_cells() == 1
+        )
+
+    @given(budgets, st.integers(1, 5), st.integers(0, 2_000))
+    @settings(max_examples=100, deadline=None)
+    def test_sketch_width_monotone_in_budget(self, budget, rows, heap_k):
+        bigger = MemoryBudget(budget.total_bytes * 2)
+        assert bigger.sketch_width(rows, heap_k) >= budget.sketch_width(
+            rows, heap_k
+        )
+
+    @given(budgets)
+    @settings(max_examples=100, deadline=None)
+    def test_halves_conserve(self, budget):
+        a, b = budget.halves()
+        assert a.total_bytes + b.total_bytes <= budget.total_bytes + 2
+
+    @given(budgets, st.floats(0.05, 0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_split_fractions(self, budget, f):
+        a, b = budget.split(f, 1.0 - f)
+        assert a.total_bytes + b.total_bytes <= budget.total_bytes + 2
+        assert a.total_bytes >= 1 and b.total_bytes >= 1
+
+    @given(budgets)
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_cells(self, budget):
+        bigger = MemoryBudget(budget.total_bytes + 4096)
+        assert bigger.counter_cells() >= budget.counter_cells()
+        assert bigger.ltc_buckets(8) >= budget.ltc_buckets(8)
+        assert bigger.bloom_bits() >= budget.bloom_bits()

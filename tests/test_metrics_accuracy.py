@@ -1,0 +1,66 @@
+"""Precision / ARE / AAE definitions (paper §V-A)."""
+
+from __future__ import annotations
+
+from repro.metrics.accuracy import (
+    average_absolute_error,
+    average_relative_error,
+    precision,
+    recall,
+)
+
+
+class TestPrecision:
+    def test_full_overlap(self):
+        assert precision([1, 2, 3], {1, 2, 3}) == 1.0
+
+    def test_no_overlap(self):
+        assert precision([4, 5], {1, 2}) == 0.0
+
+    def test_partial(self):
+        assert precision([1, 4], {1, 2}) == 0.5
+
+    def test_empty_exact_set(self):
+        assert precision([1], set()) == 1.0
+
+    def test_duplicates_in_reported_ignored(self):
+        assert precision([1, 1, 1], {1, 2}) == 0.5
+
+    def test_recall_alias(self):
+        assert recall([1, 4], {1, 2}) == 0.5
+
+
+class TestARE:
+    def test_exact_estimates(self):
+        reported = [(1, 10.0), (2, 20.0)]
+        truth = {1: 10.0, 2: 20.0}
+        assert average_relative_error(reported, truth.get) == 0.0
+
+    def test_simple_values(self):
+        reported = [(1, 15.0), (2, 10.0)]
+        truth = {1: 10.0, 2: 20.0}
+        # |10-15|/10 = 0.5 ; |20-10|/20 = 0.5 → mean 0.5
+        assert average_relative_error(reported, truth.get) == 0.5
+
+    def test_zero_truth_counts_as_one(self):
+        reported = [(1, 99.0)]
+        assert average_relative_error(reported, lambda _: 0.0) == 1.0
+
+    def test_empty_reported(self):
+        assert average_relative_error([], lambda _: 1.0) == 0.0
+
+    def test_symmetric_in_error_direction(self):
+        truth = {1: 10.0}
+        over = average_relative_error([(1, 12.0)], truth.get)
+        under = average_relative_error([(1, 8.0)], truth.get)
+        assert over == under
+
+
+class TestAAE:
+    def test_simple(self):
+        reported = [(1, 15.0), (2, 10.0)]
+        truth = {1: 10.0, 2: 20.0}
+        assert average_absolute_error(reported, truth.get) == 7.5
+
+    def test_empty(self):
+        assert average_absolute_error([], lambda _: 0.0) == 0.0

@@ -1,0 +1,73 @@
+"""Memory budget sizing rules (paper §V-C accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.memory import (
+    COUNTER_CELL_BYTES,
+    HEAP_ENTRY_BYTES,
+    LTC_CELL_BYTES,
+    STBF_CELL_BYTES,
+    MemoryBudget,
+    kb,
+)
+
+
+class TestKb:
+    def test_kilobyte(self):
+        assert kb(1) == 1024
+
+    def test_fractional(self):
+        assert kb(0.5) == 512
+
+
+class TestBudget:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+
+    def test_ltc_buckets(self):
+        budget = MemoryBudget(kb(12))
+        # 12KB / 12B = 1024 cells → 128 buckets of 8.
+        assert budget.ltc_buckets(8) == 1024 // 8
+        assert LTC_CELL_BYTES == 12
+
+    def test_counter_cells(self):
+        assert MemoryBudget(kb(8)).counter_cells() == kb(8) // COUNTER_CELL_BYTES
+
+    def test_sketch_width_reserves_heap(self):
+        budget = MemoryBudget(kb(8))
+        width_with_heap = budget.sketch_width(rows=3, heap_k=100)
+        width_without = budget.sketch_width(rows=3, heap_k=0)
+        assert width_with_heap < width_without
+        reserved = 100 * HEAP_ENTRY_BYTES
+        assert width_with_heap == (budget.total_bytes - reserved) // 4 // 3
+
+    def test_sketch_width_never_below_one(self):
+        assert MemoryBudget(16).sketch_width(rows=3, heap_k=1000) >= 1
+
+    def test_split(self):
+        halves = MemoryBudget(1000).split(0.5, 0.5)
+        assert [b.total_bytes for b in halves] == [500, 500]
+
+    def test_split_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(1000).split(0.5, 0.6)
+
+    def test_halves(self):
+        a, b = MemoryBudget(1000).halves()
+        assert a.total_bytes == b.total_bytes == 500
+
+    def test_bloom_bits(self):
+        assert MemoryBudget(kb(1)).bloom_bits() == 8192
+
+    def test_stbf_cells(self):
+        assert MemoryBudget(400).stbf_cells() == 400 // STBF_CELL_BYTES
+
+    def test_scaling(self):
+        assert (MemoryBudget(100) * 3).total_bytes == 300
+        assert (2 * MemoryBudget(100)).total_bytes == 200
+
+    def test_str(self):
+        assert str(MemoryBudget(kb(50))) == "50KB"

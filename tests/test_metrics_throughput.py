@@ -1,0 +1,48 @@
+"""Throughput measurement mechanics."""
+
+from __future__ import annotations
+
+from repro.metrics.throughput import ThroughputResult, measure_throughput
+from tests.conftest import make_stream
+
+
+class _CountingSummary:
+    def __init__(self):
+        self.inserted = 0
+
+    def insert(self, item):
+        self.inserted += 1
+
+
+class TestMeasure:
+    def test_counts_events(self):
+        stream = make_stream(range(100), num_periods=4)
+        result = measure_throughput(_CountingSummary, stream, name="count")
+        assert result.events == 100
+        assert result.seconds > 0
+        assert result.name == "count"
+
+    def test_fresh_summary_per_repeat(self):
+        built = []
+
+        def factory():
+            summary = _CountingSummary()
+            built.append(summary)
+            return summary
+
+        stream = make_stream(range(10), num_periods=2)
+        measure_throughput(factory, stream, repeats=3)
+        assert len(built) == 3
+        assert all(s.inserted == 10 for s in built)
+
+
+class TestResult:
+    def test_mops(self):
+        result = ThroughputResult(name="x", events=2_000_000, seconds=2.0)
+        assert result.mops == 1.0
+
+    def test_zero_seconds(self):
+        assert ThroughputResult("x", 10, 0.0).mops == float("inf")
+
+    def test_str(self):
+        assert "Mops" in str(ThroughputResult("x", 10, 1.0))

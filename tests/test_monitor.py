@@ -1,0 +1,86 @@
+"""TopKMonitor: continuous snapshots and churn analysis."""
+
+from __future__ import annotations
+
+from repro.core.config import LTCConfig
+from repro.core.ltc import LTC
+from repro.experiments.monitor import TopKMonitor
+from repro.summaries.space_saving import SpaceSaving
+from tests.conftest import make_stream
+
+
+def monitored_ltc(k=3, n=4) -> TopKMonitor:
+    return TopKMonitor(
+        summary=LTC(
+            LTCConfig(
+                num_buckets=8,
+                bucket_width=8,
+                alpha=1.0,
+                beta=1.0,
+                items_per_period=n,
+            )
+        ),
+        k=k,
+    )
+
+
+class TestSnapshots:
+    def test_one_snapshot_per_period(self):
+        monitor = monitored_ltc()
+        stream = make_stream([1, 2, 3, 4] * 5, num_periods=5)
+        stream.run(monitor)
+        assert len(monitor.snapshots) == 5
+        assert len(monitor.events) == 4
+
+    def test_stable_stream_zero_churn(self):
+        monitor = monitored_ltc()
+        stream = make_stream([1, 1, 2, 3] * 6, num_periods=6)
+        stream.run(monitor)
+        assert monitor.total_churn() == 0
+        assert monitor.mean_churn() == 0.0
+        assert monitor.stabilised_at() is not None
+
+    def test_regime_change_detected(self):
+        # Periods 0-3 dominated by {1,2,3}; periods 4-7 by {7,8,9}.
+        events = [1, 1, 2, 2, 3, 3] * 4 + [7, 7, 8, 8, 9, 9] * 12
+        monitor = monitored_ltc(k=3, n=6)
+        stream = make_stream(events, num_periods=16)
+        stream.run(monitor)
+        assert monitor.total_churn() > 0
+        churned_periods = [e.period for e in monitor.events if e.churn > 0]
+        assert churned_periods, "the takeover must register as churn"
+        assert min(churned_periods) >= 4  # stable until the regime change
+
+    def test_tenure(self):
+        monitor = monitored_ltc(k=2, n=3)
+        stream = make_stream([1, 1, 2] * 4, num_periods=4)
+        stream.run(monitor)
+        assert monitor.tenure(1) == 4
+        assert monitor.tenure(99) == 0
+
+    def test_churn_event_fields(self):
+        monitor = monitored_ltc(k=1, n=2)
+        stream = make_stream([1, 1, 2, 2, 2, 2], num_periods=3)
+        stream.run(monitor)
+        takeovers = [e for e in monitor.events if e.churn > 0]
+        assert takeovers
+        event = takeovers[0]
+        assert event.entered == {2}
+        assert event.left == {1}
+        assert event.churn == 2
+
+
+class TestForwarding:
+    def test_wraps_any_summary(self):
+        monitor = TopKMonitor(summary=SpaceSaving(8), k=2)
+        stream = make_stream([5, 5, 6] * 3, num_periods=3)
+        stream.run(monitor)
+        assert monitor.query(5) == 6.0
+        assert [r.item for r in monitor.top_k(1)] == [5]
+        assert len(monitor.snapshots) == 3
+
+    def test_stabilised_none_for_short_runs(self):
+        monitor = monitored_ltc()
+        stream = make_stream([1, 2, 3, 4], num_periods=1)
+        stream.run(monitor)
+        assert monitor.stabilised_at() is None

@@ -1,0 +1,78 @@
+"""PIE: per-period recording, decoding, and persistency ranking."""
+
+from __future__ import annotations
+
+from repro.metrics.memory import MemoryBudget, kb
+from repro.persistent.pie import PIE
+from repro.streams.ground_truth import GroundTruth
+from tests.conftest import make_stream
+
+
+class TestMechanics:
+    def test_periods_recorded(self):
+        pie = PIE(cells_per_period=256)
+        stream = make_stream([1, 2, 3, 4, 5, 6], num_periods=3)
+        stream.run(pie)
+        assert pie.periods_recorded == 3
+
+    def test_finalize_idempotent(self):
+        pie = PIE(cells_per_period=1024)
+        stream = make_stream([1, 1, 2] * 4, num_periods=4)
+        stream.run(pie)
+        first = pie.query(1)
+        pie.finalize()
+        assert pie.query(1) == first
+
+    def test_duplicates_within_period_count_once(self):
+        pie = PIE(cells_per_period=4096)
+        stream = make_stream([7] * 30, num_periods=3)
+        stream.run(pie)
+        # Either decoded (≤ 3) or missed in some periods — never above T.
+        assert pie.query(7) <= 3
+
+    def test_never_overestimates_persistency(self):
+        """Verified decoding cannot credit an item for a period it missed."""
+        events = []
+        # Item 1 in all 5 periods; items 100+i only in period i.
+        for p in range(5):
+            events.extend([1, 100 + p, 100 + p])
+        pie = PIE(cells_per_period=4096)
+        stream = make_stream(events, num_periods=5)
+        truth = GroundTruth(stream)
+        stream.run(pie)
+        for item in truth.items():
+            assert pie.query(item) <= truth.persistency(item)
+
+    def test_from_memory(self):
+        pie = PIE.from_memory(MemoryBudget(kb(4)))
+        assert pie.cells_per_period == kb(4) // 4
+
+
+class TestAccuracy:
+    def test_detects_persistent_item_with_ample_memory(self):
+        events = []
+        for p in range(10):
+            events.append(1)
+            events.extend(range(1000 + 10 * p, 1000 + 10 * p + 5))
+        pie = PIE(cells_per_period=4096)
+        stream = make_stream(events, num_periods=10)
+        stream.run(pie)
+        # With huge per-period filters nearly every period decodes.
+        assert pie.query(1) >= 6
+
+    def test_topk_ranks_persistent_items_first(self, small_zipf, small_zipf_truth):
+        pie = PIE(cells_per_period=8192)
+        small_zipf.run(pie)
+        exact = small_zipf_truth.top_k_items(30, 0.0, 1.0)
+        reported = {r.item for r in pie.top_k(30)}
+        assert len(reported & exact) / 30 >= 0.5
+
+    def test_accuracy_improves_with_memory(self, small_zipf, small_zipf_truth):
+        def precision_at(cells: int) -> float:
+            pie = PIE(cells_per_period=cells)
+            small_zipf.run(pie)
+            exact = small_zipf_truth.top_k_items(30, 0.0, 1.0)
+            reported = {r.item for r in pie.top_k(30)}
+            return len(reported & exact) / 30
+
+        assert precision_at(4096) >= precision_at(256)

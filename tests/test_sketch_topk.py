@@ -1,0 +1,41 @@
+"""Sketch + heap top-k wrapper."""
+
+from __future__ import annotations
+
+from repro.metrics.memory import MemoryBudget, kb
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.cu import CUSketch
+from repro.sketches.topk import SketchTopK
+
+
+class TestTopK:
+    def test_finds_heavy_hitters(self, small_zipf, small_zipf_truth):
+        topk = SketchTopK(CUSketch(width=1024, rows=3), k=20)
+        small_zipf.run(topk)
+        exact = small_zipf_truth.top_k_items(20, 1.0, 0.0)
+        reported = {r.item for r in topk.top_k(20)}
+        assert len(reported & exact) >= 16
+
+    def test_heap_capacity_respected(self):
+        topk = SketchTopK(CountMinSketch(width=64), k=5)
+        for item in range(100):
+            topk.insert(item)
+        assert len(topk.top_k(100)) <= 5
+
+    def test_significance_equals_frequency_estimate(self):
+        topk = SketchTopK(CountMinSketch(width=1 << 12, rows=3), k=5)
+        for _ in range(9):
+            topk.insert(1)
+        report = topk.top_k(1)[0]
+        assert report.item == 1
+        assert report.significance == report.frequency == 9.0
+
+    def test_query_delegates_to_sketch(self):
+        topk = SketchTopK(CountMinSketch(width=1 << 12, rows=3), k=5)
+        topk.insert(1)
+        assert topk.query(1) == 1.0
+
+    def test_from_memory_builds(self):
+        topk = SketchTopK.from_memory(CUSketch, MemoryBudget(kb(8)), k=50)
+        assert topk.heap.capacity == 50
+        assert topk.sketch.width >= 1

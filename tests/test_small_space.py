@@ -1,0 +1,87 @@
+"""SmallSpacePersistent: coordinated sampling semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.memory import MemoryBudget, kb
+from repro.persistent.small_space import SmallSpacePersistent
+from repro.streams.ground_truth import GroundTruth
+from tests.conftest import make_stream
+
+
+class TestSampling:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SmallSpacePersistent(0)
+        with pytest.raises(ValueError):
+            SmallSpacePersistent(10, sample_rate=0.0)
+        with pytest.raises(ValueError):
+            SmallSpacePersistent(10, sample_rate=1.5)
+
+    def test_full_rate_tracks_exactly(self):
+        summary = SmallSpacePersistent(capacity=1_000, sample_rate=1.0)
+        stream = make_stream([1, 2, 1, 3, 1, 2, 1, 4], num_periods=4)
+        truth = GroundTruth(stream)
+        stream.run(summary)
+        for item in truth.items():
+            assert summary.query(item) == truth.persistency(item)
+            assert summary.frequency(item) == truth.frequency(item)
+
+    def test_sampled_items_are_exact(self, small_zipf, small_zipf_truth):
+        summary = SmallSpacePersistent(capacity=10_000, sample_rate=0.2, seed=3)
+        small_zipf.run(summary)
+        for report in summary.top_k(100):
+            assert report.persistency == small_zipf_truth.persistency(report.item)
+            assert report.frequency == small_zipf_truth.frequency(report.item)
+
+    def test_unsampled_items_invisible(self):
+        summary = SmallSpacePersistent(capacity=1_000, sample_rate=1e-9)
+        for item in range(100):
+            summary.insert(item)
+        assert len(summary) <= 1  # essentially nothing sampled
+
+    def test_coordination_across_periods(self):
+        """The same items are sampled in every period, so persistency of a
+        sampled item is unbiased."""
+        summary = SmallSpacePersistent(capacity=1_000, sample_rate=0.5, seed=7)
+        stream = make_stream(list(range(50)) * 6, num_periods=6)
+        stream.run(summary)
+        for report in summary.top_k(1_000):
+            assert report.persistency == 6
+
+
+class TestCapacity:
+    def test_tighten_keeps_capacity(self):
+        summary = SmallSpacePersistent(capacity=50, sample_rate=1.0)
+        for item in range(5_000):
+            summary.insert(item)
+        assert len(summary) <= 50
+        assert summary.sample_rate < 1.0
+
+    def test_tighten_preserves_exactness(self):
+        summary = SmallSpacePersistent(capacity=100, sample_rate=1.0, seed=5)
+        stream = make_stream([i % 500 for i in range(4_000)], num_periods=8)
+        truth = GroundTruth(stream)
+        stream.run(summary)
+        for report in summary.top_k(100):
+            assert report.persistency == truth.persistency(report.item)
+
+    def test_from_memory(self):
+        summary = SmallSpacePersistent.from_memory(
+            MemoryBudget(kb(2)), expected_distinct=10_000
+        )
+        assert summary.capacity == kb(2) // 12
+        assert 0.0 < summary.sample_rate <= 1.0
+
+
+class TestRecallLimitation:
+    def test_misses_unsampled_heavy_hitters(self, small_zipf, small_zipf_truth):
+        """The structural weakness vs LTC: a low sampling rate misses a
+        fraction of the true top-k no matter how persistent they are."""
+        summary = SmallSpacePersistent(capacity=10_000, sample_rate=0.3, seed=2)
+        small_zipf.run(summary)
+        exact = small_zipf_truth.top_k_items(50, 0.0, 1.0)
+        reported = {r.item for r in summary.top_k(50)}
+        hit_rate = len(reported & exact) / 50
+        assert hit_rate < 0.75  # ≈ sample_rate in expectation

@@ -1,0 +1,124 @@
+"""Space-Saving: classic guarantees and top-k behaviour."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.metrics.memory import MemoryBudget, kb
+from repro.summaries.space_saving import SpaceSaving
+
+
+class TestGuarantees:
+    def test_exact_when_capacity_covers_distinct(self, small_zipf, small_zipf_truth):
+        ss = SpaceSaving(capacity=small_zipf_truth.num_distinct)
+        small_zipf.run(ss)
+        for item in small_zipf_truth.items()[:300]:
+            assert ss.query(item) == small_zipf_truth.frequency(item)
+
+    def test_never_underestimates_tracked_items(self, small_zipf, small_zipf_truth):
+        ss = SpaceSaving(capacity=64)
+        small_zipf.run(ss)
+        for report in ss.top_k(64):
+            assert report.frequency >= small_zipf_truth.frequency(report.item)
+
+    def test_error_bounded_by_n_over_m(self, small_zipf, small_zipf_truth):
+        """Metwally bound: f̂ − f ≤ N/m for every monitored item."""
+        capacity = 64
+        ss = SpaceSaving(capacity=capacity)
+        small_zipf.run(ss)
+        bound = len(small_zipf) / capacity
+        for report in ss.top_k(capacity):
+            over = report.frequency - small_zipf_truth.frequency(report.item)
+            assert 0 <= over <= bound
+
+    def test_guaranteed_count_is_lower_bound(self, small_zipf, small_zipf_truth):
+        ss = SpaceSaving(capacity=64)
+        small_zipf.run(ss)
+        for report in ss.top_k(64):
+            assert (
+                ss.guaranteed_count(report.item)
+                <= small_zipf_truth.frequency(report.item)
+            )
+
+    def test_total_count_equals_stream_length(self, small_zipf):
+        """Σ counters = N: every arrival adds exactly one unit."""
+        ss = SpaceSaving(capacity=32)
+        small_zipf.run(ss)
+        assert sum(r.frequency for r in ss.top_k(32)) == len(small_zipf)
+
+
+class TestBehaviour:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+
+    def test_replacement_sets_min_plus_one(self):
+        ss = SpaceSaving(capacity=2)
+        for item in (1, 1, 1, 2):
+            ss.insert(item)
+        ss.insert(3)  # replaces item 2 (count 1) → count 2
+        assert ss.query(3) == 2.0
+        assert ss.query(2) == 0.0
+
+    def test_size_capped(self):
+        ss = SpaceSaving(capacity=5)
+        for item in range(100):
+            ss.insert(item)
+        assert len(ss) == 5
+
+    def test_query_untracked_is_zero(self):
+        ss = SpaceSaving(capacity=2)
+        ss.insert(1)
+        assert ss.query(42) == 0.0
+
+    def test_top_k_finds_heavy_hitter(self):
+        ss = SpaceSaving(capacity=8)
+        events = [1] * 50 + list(range(100, 130))
+        for item in events:
+            ss.insert(item)
+        assert ss.top_k(1)[0].item == 1
+
+    def test_from_memory(self):
+        ss = SpaceSaving.from_memory(MemoryBudget(kb(1)))
+        assert ss.capacity == 128  # 1024 / 8
+
+    def test_precision_reasonable_on_zipf(self, medium_zipf, medium_zipf_truth):
+        ss = SpaceSaving(capacity=256)
+        medium_zipf.run(ss)
+        exact = medium_zipf_truth.top_k_items(50, 1.0, 0.0)
+        reported = {r.item for r in ss.top_k(50)}
+        assert len(reported & exact) / 50 >= 0.8
+
+
+class TestAgainstBruteForce:
+    def test_matches_naive_space_saving(self):
+        """Cross-check the Stream-Summary implementation against a naive
+        O(m)-per-op reference on a random stream."""
+        import random
+
+        rng = random.Random(99)
+        events = [rng.randrange(30) for _ in range(2_000)]
+        capacity = 7
+
+        naive: Counter = Counter()
+        for item in events:
+            if item in naive:
+                naive[item] += 1
+            elif len(naive) < capacity:
+                naive[item] = 1
+            else:
+                victim = min(naive.items(), key=lambda kv: (kv[1], kv[0]))[0]
+                count = naive.pop(victim)
+                naive[item] = count + 1
+
+        ss = SpaceSaving(capacity=capacity)
+        for item in events:
+            ss.insert(item)
+
+        # Tie-breaking among equal-count minimums may differ, so compare
+        # the multiset of counts rather than exact item identity.
+        assert sorted(naive.values()) == sorted(
+            int(r.frequency) for r in ss.top_k(capacity)
+        )

@@ -1,0 +1,73 @@
+"""SpaceSavingPersistent: counter-based persistent adaptation."""
+
+from __future__ import annotations
+
+from repro.membership.bloom import BloomFilter
+from repro.metrics.memory import MemoryBudget, kb
+from repro.persistent.ss_persistent import SpaceSavingPersistent
+from repro.streams.ground_truth import GroundTruth
+from tests.conftest import make_stream
+
+
+def make_summary(capacity=64, bits=1 << 15) -> SpaceSavingPersistent:
+    return SpaceSavingPersistent(
+        capacity=capacity, bloom=BloomFilter(num_bits=bits, num_hashes=3)
+    )
+
+
+class TestSemantics:
+    def test_counts_periods_not_arrivals(self):
+        summary = make_summary()
+        stream = make_stream([5] * 20, num_periods=4)
+        stream.run(summary)
+        assert summary.query(5) == 4.0
+
+    def test_exact_with_ample_capacity(self):
+        events = [1, 2, 1, 3, 2, 2, 1, 1, 3, 9, 9, 9]
+        stream = make_stream(events, num_periods=3)
+        truth = GroundTruth(stream)
+        summary = make_summary()
+        stream.run(summary)
+        for item in truth.items():
+            assert summary.query(item) == truth.persistency(item)
+
+    def test_never_underestimates_monitored_items(self, small_zipf, small_zipf_truth):
+        """Space-Saving over the deduplicated stream overestimates only."""
+        summary = make_summary(capacity=64, bits=1 << 18)
+        small_zipf.run(summary)
+        for report in summary.top_k(64):
+            assert report.persistency >= small_zipf_truth.persistency(report.item)
+
+    def test_overestimate_bounded_by_total_persistency(
+        self, small_zipf, small_zipf_truth
+    ):
+        capacity = 64
+        summary = make_summary(capacity=capacity, bits=1 << 18)
+        small_zipf.run(summary)
+        total_persistency = sum(
+            small_zipf_truth.persistency(i) for i in small_zipf_truth.items()
+        )
+        bound = total_persistency / capacity
+        for report in summary.top_k(capacity):
+            over = report.persistency - small_zipf_truth.persistency(report.item)
+            assert over <= bound
+
+    def test_topk_on_zipf(self, small_zipf, small_zipf_truth):
+        summary = make_summary(capacity=256, bits=1 << 16)
+        small_zipf.run(summary)
+        exact = small_zipf_truth.top_k_items(30, 0.0, 1.0)
+        reported = {r.item for r in summary.top_k(30)}
+        assert len(reported & exact) / 30 >= 0.7
+
+
+class TestSizing:
+    def test_from_memory(self):
+        summary = SpaceSavingPersistent.from_memory(MemoryBudget(kb(8)))
+        assert summary.bloom.num_bits == kb(4) * 8
+        assert summary._ss.capacity == kb(4) // 8
+
+    def test_len(self):
+        summary = make_summary(capacity=4)
+        stream = make_stream(list(range(20)), num_periods=2)
+        stream.run(summary)
+        assert len(summary) == 4

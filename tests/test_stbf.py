@@ -1,0 +1,101 @@
+"""Space-Time Bloom Filter: cell states and singleton extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codes.raptor import RaptorCode
+from repro.membership.stbf import CellState, SpaceTimeBloomFilter
+
+
+def make_stbf(num_cells=256, num_hashes=3, seed=1) -> SpaceTimeBloomFilter:
+    return SpaceTimeBloomFilter(
+        num_cells=num_cells,
+        code=RaptorCode(seed=7),
+        num_hashes=num_hashes,
+        seed=seed,
+    )
+
+
+class TestStates:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_stbf(num_cells=0)
+        with pytest.raises(ValueError):
+            make_stbf(num_hashes=0)
+
+    def test_fresh_filter_empty(self):
+        stbf = make_stbf()
+        empty, occupied, collided = stbf.occupancy
+        assert (empty, occupied, collided) == (256, 0, 0)
+
+    def test_single_insert_occupies_r_cells(self):
+        stbf = make_stbf()
+        stbf.insert(42)
+        cells = set(stbf.cells_of(42))
+        _, occupied, collided = stbf.occupancy
+        assert occupied == len(cells)
+        assert collided == 0
+
+    def test_reinsert_idempotent(self):
+        stbf = make_stbf()
+        stbf.insert(42)
+        before = stbf.occupancy
+        for _ in range(5):
+            stbf.insert(42)
+        assert stbf.occupancy == before
+
+    def test_two_items_colliding_cell_marked(self):
+        """Force two items onto one cell and check the collision state."""
+        stbf = make_stbf(num_cells=1, num_hashes=1)
+        stbf.insert(1)
+        stbf.insert(2)
+        assert stbf.state_of(0) == CellState.COLLIDED
+        assert list(stbf.singletons()) == []
+
+    def test_collided_stays_collided(self):
+        stbf = make_stbf(num_cells=1, num_hashes=1)
+        stbf.insert(1)
+        stbf.insert(2)
+        stbf.insert(1)
+        assert stbf.state_of(0) == CellState.COLLIDED
+
+
+class TestSingletons:
+    def test_singleton_symbols_decode(self):
+        code = RaptorCode(seed=7)
+        stbf = SpaceTimeBloomFilter(num_cells=1024, code=code, num_hashes=3, seed=2)
+        item = 0xCAFEBABE
+        stbf.insert(item)
+        symbols = [(cell, sym) for cell, fp, sym in stbf.singletons()]
+        decoded = code.decode(symbols)
+        assert decoded is None or decoded == item
+
+    def test_singletons_report_fingerprint(self):
+        stbf = make_stbf()
+        stbf.insert(7)
+        fp = stbf.fingerprint(7)
+        assert all(f == fp for _, f, _ in stbf.singletons())
+
+    def test_fingerprint_width(self):
+        stbf = make_stbf()
+        for item in range(100):
+            assert 0 <= stbf.fingerprint(item) < (1 << stbf.fp_bits)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        stbf = make_stbf(num_cells=2048)
+        items = list(range(100))
+        for item in items:
+            stbf.insert(item)
+        assert all(stbf.might_contain(item) for item in items)
+
+    def test_absent_item_usually_rejected(self):
+        stbf = make_stbf(num_cells=4096)
+        for item in range(50):
+            stbf.insert(item)
+        misses = sum(
+            1 for probe in range(10_000, 11_000) if stbf.might_contain(probe)
+        )
+        assert misses < 50

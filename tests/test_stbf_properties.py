@@ -1,0 +1,95 @@
+"""Property-based tests for the Space-Time Bloom Filter and PIE."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.raptor import RaptorCode
+from repro.membership.stbf import CellState, SpaceTimeBloomFilter
+from repro.persistent.pie import PIE
+from repro.streams.ground_truth import GroundTruth
+from tests.conftest import make_stream
+
+items_strategy = st.lists(st.integers(0, 2**32 - 1), max_size=120)
+
+
+def build_stbf(items, num_cells=512, seed=1):
+    stbf = SpaceTimeBloomFilter(
+        num_cells=num_cells, code=RaptorCode(seed=7), num_hashes=3, seed=seed
+    )
+    for item in items:
+        stbf.insert(item)
+    return stbf
+
+
+class TestSTBFProperties:
+    @given(items_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_negatives(self, items):
+        stbf = build_stbf(items)
+        assert all(stbf.might_contain(i & 0xFFFFFFFF) for i in items)
+
+    @given(items_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_accounting(self, items):
+        stbf = build_stbf(items)
+        empty, occupied, collided = stbf.occupancy
+        assert empty + occupied + collided == stbf.num_cells
+        if not items:
+            assert occupied == collided == 0
+
+    @given(items_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_insertion_order_irrelevant(self, items):
+        forward = build_stbf(items)
+        backward = build_stbf(list(reversed(items)))
+        # Cell states are order-independent: the same item set always
+        # produces the same singleton/collided classification.
+        assert [forward.state_of(c) for c in range(forward.num_cells)] == [
+            backward.state_of(c) for c in range(backward.num_cells)
+        ]
+
+    @given(items_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_singletons_decode_to_inserted_items(self, items):
+        """Any id recovered from a period's singletons (with verification)
+        must be an item actually inserted in that period."""
+        stbf = build_stbf(items)
+        inserted = {i & 0xFFFFFFFF for i in items}
+        by_fp = {}
+        for cell, fp, symbol in stbf.singletons():
+            by_fp.setdefault(fp, []).append((cell, symbol))
+        for fp, symbols in by_fp.items():
+            decoded = stbf.code.decode(symbols)
+            if decoded is None:
+                continue
+            decoded &= 0xFFFFFFFF
+            if stbf.fingerprint(decoded) == fp and stbf.might_contain(decoded):
+                assert decoded in inserted
+
+
+class TestPIEProperties:
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=200),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_persistency_never_overestimated(self, events, periods):
+        periods = min(periods, len(events))
+        stream = make_stream(events, num_periods=periods)
+        truth = GroundTruth(stream)
+        pie = PIE(cells_per_period=1024)
+        stream.run(pie)
+        for item in set(events):
+            assert pie.query(item) <= truth.persistency(item)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_reported_items_are_real(self, events):
+        stream = make_stream(events, num_periods=min(3, len(events)))
+        pie = PIE(cells_per_period=1024)
+        stream.run(pie)
+        universe = set(events)
+        for report in pie.top_k(50):
+            assert report.item in universe

@@ -1,0 +1,118 @@
+"""Stream-Summary bucket-list structure: ordering invariant and semantics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summaries.stream_summary import StreamSummaryList
+
+
+class TestBasics:
+    def test_add_and_count(self):
+        summary = StreamSummaryList()
+        summary.add(1, count=1)
+        assert summary.count_of(1) == 1
+        assert 1 in summary
+        assert len(summary) == 1
+
+    def test_add_duplicate_rejected(self):
+        summary = StreamSummaryList()
+        summary.add(1)
+        with pytest.raises(ValueError):
+            summary.add(1)
+
+    def test_increment(self):
+        summary = StreamSummaryList()
+        summary.add(1)
+        assert summary.increment(1) == 2
+        assert summary.count_of(1) == 2
+
+    def test_increment_delta(self):
+        summary = StreamSummaryList()
+        summary.add(1)
+        summary.increment(1, delta=5)
+        assert summary.count_of(1) == 6
+
+    def test_min_count(self):
+        summary = StreamSummaryList()
+        summary.add(1)
+        summary.add(2)
+        summary.increment(1)
+        assert summary.min_count() == 1
+
+    def test_min_count_empty(self):
+        assert StreamSummaryList().min_count() == 0
+
+    def test_replace_min(self):
+        summary = StreamSummaryList()
+        summary.add(1)
+        summary.add(2)
+        summary.increment(2, delta=4)
+        evicted, min_count = summary.replace_min(99)
+        assert evicted == 1
+        assert min_count == 1
+        assert 1 not in summary
+        # Space-Saving semantics: newcomer gets min + 1 and error = min.
+        assert summary.count_of(99) == 2
+        assert summary.error_of(99) == 1
+
+    def test_replace_min_empty_raises(self):
+        with pytest.raises(IndexError):
+            StreamSummaryList().replace_min(1)
+
+    def test_items_non_decreasing(self):
+        summary = StreamSummaryList()
+        for i in range(10):
+            summary.add(i, count=1)
+        for i in range(5):
+            summary.increment(i, delta=i + 1)
+        counts = [c for _, c in summary.items()]
+        assert counts == sorted(counts)
+
+    def test_top(self):
+        summary = StreamSummaryList()
+        summary.add(1)
+        summary.add(2)
+        summary.increment(2, delta=9)
+        assert summary.top(1) == [(2, 10)]
+
+
+class TestInvariantUnderRandomOps:
+    def test_random_workload(self):
+        rng = random.Random(13)
+        summary = StreamSummaryList()
+        reference: dict = {}
+        capacity = 12
+        for _ in range(4_000):
+            item = rng.randrange(40)
+            if item in summary:
+                summary.increment(item)
+                reference[item] += 1
+            elif len(summary) < capacity:
+                summary.add(item)
+                reference[item] = 1
+            else:
+                evicted, min_count = summary.replace_min(item)
+                del reference[evicted]
+                reference[item] = min_count + 1
+        assert summary.check_invariant()
+        assert {i: c for i, c in summary.items()} == reference
+
+    @given(st.lists(st.integers(0, 15), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_invariant_property(self, arrivals):
+        summary = StreamSummaryList()
+        capacity = 5
+        for item in arrivals:
+            if item in summary:
+                summary.increment(item)
+            elif len(summary) < capacity:
+                summary.add(item)
+            else:
+                summary.replace_min(item)
+        assert summary.check_invariant()
+        assert len(summary) <= capacity

@@ -1,0 +1,105 @@
+"""Dataset substitutes: shape properties the experiments rely on."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.streams.datasets import (
+    caida_like,
+    load_dataset,
+    network_like,
+    social_like,
+    temporal_zipf_stream,
+)
+from repro.streams.ground_truth import GroundTruth
+
+
+class TestTemporalZipfStream:
+    def test_event_count_and_periods(self):
+        stream = temporal_zipf_stream(
+            num_events=5_000, num_distinct=1_000, skew=1.0, num_periods=10, seed=1
+        )
+        assert len(stream) == 5_000
+        assert stream.num_periods == 10
+
+    def test_deterministic(self):
+        kwargs = dict(
+            num_events=2_000, num_distinct=400, skew=1.0, num_periods=5, seed=2
+        )
+        assert (
+            temporal_zipf_stream(**kwargs).events
+            == temporal_zipf_stream(**kwargs).events
+        )
+
+    def test_bursts_decouple_frequency_from_persistency(self):
+        """With heavy bursting, some high-frequency items must span only a
+        few periods — the regime that separates significant from merely
+        frequent items."""
+        stream = temporal_zipf_stream(
+            num_events=20_000,
+            num_distinct=2_000,
+            skew=1.0,
+            num_periods=40,
+            burst_fraction=0.6,
+            burst_width=0.05,
+            seed=5,
+        )
+        truth = GroundTruth(stream)
+        frequent = [item for item, f in Counter(stream.events).items() if f >= 50]
+        spans = sorted(truth.persistency(item) for item in frequent)
+        assert spans, "need some frequent items"
+        # At least one frequent item is bursty (few periods) and at least
+        # one is persistent (many periods).
+        assert spans[0] <= 10
+        assert spans[-1] >= 30
+
+    def test_no_bursts_makes_frequent_items_persistent(self):
+        stream = temporal_zipf_stream(
+            num_events=20_000,
+            num_distinct=2_000,
+            skew=1.0,
+            num_periods=20,
+            burst_fraction=0.0,
+            seed=5,
+        )
+        truth = GroundTruth(stream)
+        top = Counter(stream.events).most_common(10)
+        assert all(truth.persistency(item) >= 18 for item, _ in top)
+
+    def test_rejects_bad_burst_fraction(self):
+        with pytest.raises(ValueError):
+            temporal_zipf_stream(100, 10, 1.0, 2, burst_fraction=1.5)
+
+    def test_rejects_bad_diurnal_amplitude(self):
+        with pytest.raises(ValueError):
+            temporal_zipf_stream(100, 10, 1.0, 2, diurnal_amplitude=1.0)
+
+
+class TestDatasetBuilders:
+    @pytest.mark.parametrize("builder", [caida_like, network_like, social_like])
+    def test_builders_scale_down(self, builder):
+        stream = builder(num_events=3_000, num_distinct=600, num_periods=6)
+        assert len(stream) == 3_000
+        assert stream.num_periods == 6
+
+    def test_names(self):
+        assert caida_like(num_events=500, num_distinct=100, num_periods=2).name == "caida-like"
+        assert network_like(num_events=500, num_distinct=100, num_periods=2).name == "network-like"
+        assert social_like(num_events=500, num_distinct=100, num_periods=2).name == "social-like"
+
+    def test_caida_more_skewed_than_social(self):
+        caida = caida_like(num_events=10_000, num_distinct=2_000, num_periods=10)
+        social = social_like(num_events=10_000, num_distinct=2_000, num_periods=10)
+        top_caida = Counter(caida.events).most_common(1)[0][1]
+        top_social = Counter(social.events).most_common(1)[0][1]
+        assert top_caida > top_social
+
+    def test_load_dataset(self):
+        stream = load_dataset("caida", num_events=500, num_distinct=100, num_periods=2)
+        assert stream.name == "caida-like"
+
+    def test_load_dataset_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("nope")

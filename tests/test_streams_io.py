@@ -1,0 +1,126 @@
+"""Trace I/O: item-only and timestamped loaders, time binning."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.streams.io import (
+    TimeBinnedStream,
+    dump_items,
+    load_items,
+    load_timestamped,
+    loads_items,
+)
+
+
+class TestLoadItems:
+    def test_basic(self):
+        stream = loads_items("1\n2\n1\n3\n", num_periods=2)
+        assert stream.events == [1, 2, 1, 3]
+        assert stream.num_periods == 2
+
+    def test_skips_blank_and_comment_lines(self):
+        stream = loads_items("# header\n1\n\n2\n# x\n3\n", num_periods=1)
+        assert stream.events == [1, 2, 3]
+
+    def test_string_ids_canonicalised(self):
+        stream = loads_items("alice\nbob\nalice\n", num_periods=1)
+        assert stream.events[0] == stream.events[2]
+        assert stream.events[0] != stream.events[1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            loads_items("", num_periods=1)
+
+    def test_periods_clamped_to_events(self):
+        stream = loads_items("1\n2\n", num_periods=100)
+        assert stream.num_periods == 2
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("5\n6\n7\n")
+        stream = load_items(str(path), num_periods=1)
+        assert stream.events == [5, 6, 7]
+
+    def test_roundtrip_with_dump(self, tmp_path):
+        original = loads_items("9\n8\n9\n", num_periods=1)
+        path = tmp_path / "out.txt"
+        dump_items(original, str(path))
+        again = load_items(str(path), num_periods=1)
+        assert again.events == original.events
+
+
+class TestLoadTimestamped:
+    def test_sorts_by_time(self):
+        text = "2 0.9\n1 0.1\n3 0.5\n"
+        stream = load_timestamped(io.StringIO(text), num_periods=1)
+        assert stream.events == [1, 3, 2]
+
+    def test_time_bins(self):
+        # Times 0..9; 2 periods → [0,5) and [5,10).
+        text = "".join(f"{i} {i}\n" for i in range(10))
+        stream = load_timestamped(io.StringIO(text), num_periods=2)
+        periods = list(stream.iter_periods())
+        assert periods[0] == [0, 1, 2, 3, 4]
+        assert periods[1] == [5, 6, 7, 8, 9]
+
+    def test_uneven_bins(self):
+        # Burst early: most events land in the first interval.
+        text = "1 0.0\n2 0.1\n3 0.2\n4 0.3\n5 9.9\n"
+        stream = load_timestamped(io.StringIO(text), num_periods=2)
+        periods = list(stream.iter_periods())
+        assert len(periods[0]) == 4
+        assert len(periods[1]) == 1
+
+    def test_custom_columns_and_separator(self):
+        text = "0.5,a\n1.5,b\n"
+        stream = load_timestamped(
+            io.StringIO(text),
+            num_periods=2,
+            separator=",",
+            item_column=1,
+            time_column=0,
+        )
+        assert stream.num_periods == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            load_timestamped(io.StringIO(""), num_periods=2)
+
+
+class TestTimeBinnedStream:
+    def make(self):
+        records = [(float(t), t * 10) for t in range(10)]
+        return TimeBinnedStream.from_records(records, num_periods=5)
+
+    def test_period_of(self):
+        stream = self.make()
+        assert stream.period_of(0) == 0
+        assert stream.period_of(2) == 1
+        assert stream.period_of(9) == 4
+
+    def test_iter_periods_covers_everything(self):
+        stream = self.make()
+        flattened = [i for p in stream.iter_periods() for i in p]
+        assert flattened == stream.events
+
+    def test_empty_trailing_periods(self):
+        records = [(0.0, 1), (0.1, 2), (10.0, 3)]
+        stream = TimeBinnedStream.from_records(records, num_periods=4)
+        periods = [len(p) for p in stream.iter_periods()]
+        assert sum(periods) == 3
+        assert len(periods) == 4
+
+    def test_drives_summaries(self):
+        from repro.streams.ground_truth import GroundTruth
+
+        records = [(float(t), t % 3) for t in range(30)]
+        stream = TimeBinnedStream.from_records(records, num_periods=5)
+        truth = GroundTruth(stream)
+        assert truth.persistency(0) == 5
+
+    def test_rejects_bad_periods(self):
+        with pytest.raises(ValueError):
+            TimeBinnedStream.from_records([(0.0, 1)], num_periods=0)

@@ -1,0 +1,67 @@
+"""Property-based tests of the periodic stream model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.model import PeriodicStream
+
+streams = st.builds(
+    lambda events, periods: PeriodicStream(
+        events=events, num_periods=min(periods, len(events))
+    ),
+    st.lists(st.integers(0, 100), min_size=1, max_size=300),
+    st.integers(1, 20),
+)
+
+
+class TestPartitionProperties:
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_periods_partition_events(self, stream):
+        flattened = [item for period in stream.iter_periods() for item in period]
+        assert flattened == stream.events
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_period_count(self, stream):
+        assert len(list(stream.iter_periods())) == stream.num_periods
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_period_of_matches_iteration(self, stream):
+        index = 0
+        for period_number, period in enumerate(stream.iter_periods()):
+            for _ in period:
+                assert stream.period_of(index) == period_number
+                index += 1
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_all_periods_nonempty(self, stream):
+        assert all(len(period) >= 1 for period in stream.iter_periods())
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_only_last_period_oversized(self, stream):
+        sizes = [len(p) for p in stream.iter_periods()]
+        n = stream.period_length
+        assert all(size == n for size in sizes[:-1])
+        assert sizes[-1] >= n
+
+    @given(streams, st.integers(1, 300))
+    @settings(max_examples=100, deadline=None)
+    def test_head_invariants(self, stream, cut):
+        head = stream.head(cut)
+        assert len(head) == min(cut, len(stream))
+        assert 1 <= head.num_periods <= max(stream.num_periods, 1)
+        assert head.events == stream.events[: len(head)]
+
+    @given(streams)
+    @settings(max_examples=60, deadline=None)
+    def test_stats_consistency(self, stream):
+        stats = stream.stats
+        assert stats.num_events == len(stream)
+        assert stats.num_distinct == len(set(stream.events))
+        assert stats.num_periods == stream.num_periods

@@ -1,0 +1,75 @@
+"""Zipf frequency apportionment and stream generation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.synthetic import zipf_frequencies, zipf_stream
+
+
+class TestZipfFrequencies:
+    def test_total_exact(self):
+        freqs = zipf_frequencies(10_000, 500, 1.0)
+        assert sum(freqs) == 10_000
+
+    def test_non_increasing(self):
+        freqs = zipf_frequencies(10_000, 500, 1.0)
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_all_positive(self):
+        assert all(f > 0 for f in zipf_frequencies(1_000, 2_000, 1.2))
+
+    def test_skew_concentrates_head(self):
+        light = zipf_frequencies(10_000, 500, 0.5)
+        heavy = zipf_frequencies(10_000, 500, 1.5)
+        assert heavy[0] > light[0]
+
+    def test_zero_skew_near_uniform(self):
+        freqs = zipf_frequencies(1_000, 100, 0.0)
+        assert max(freqs) - min(freqs) <= 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(0, 10, 1.0)
+        with pytest.raises(ValueError):
+            zipf_frequencies(10, 0, 1.0)
+
+    @given(
+        st.integers(1, 5_000),
+        st.integers(1, 500),
+        st.floats(0.0, 2.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_total_exact_property(self, n, m, skew):
+        assert sum(zipf_frequencies(n, m, skew)) == n
+
+
+class TestZipfStream:
+    def test_deterministic_with_seed(self):
+        a = zipf_stream(2_000, 300, 1.0, num_periods=5, seed=3)
+        b = zipf_stream(2_000, 300, 1.0, num_periods=5, seed=3)
+        assert a.events == b.events
+
+    def test_different_seed_differs(self):
+        a = zipf_stream(2_000, 300, 1.0, num_periods=5, seed=3)
+        b = zipf_stream(2_000, 300, 1.0, num_periods=5, seed=4)
+        assert a.events != b.events
+
+    def test_event_count(self):
+        assert len(zipf_stream(2_000, 300, 1.0, num_periods=5, seed=1)) == 2_000
+
+    def test_frequencies_match_apportionment(self):
+        stream = zipf_stream(2_000, 300, 1.0, num_periods=5, seed=1)
+        from collections import Counter
+
+        counts = sorted(Counter(stream.events).values(), reverse=True)
+        assert counts == zipf_frequencies(2_000, 300, 1.0)
+
+    def test_ids_are_32_bit(self):
+        stream = zipf_stream(500, 100, 1.0, num_periods=2, seed=9)
+        assert all(0 <= e < 2**32 for e in stream.events)
+
+    def test_default_name(self):
+        assert zipf_stream(100, 10, 1.5, num_periods=2).name == "zipf-g1.5"

@@ -1,0 +1,123 @@
+"""Cross-algorithm differential relations on identical streams.
+
+The counter summaries bound the truth from different sides; running them
+on one stream lets us assert the textbook sandwich relations directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.cu import CUSketch
+from repro.streams.ground_truth import GroundTruth
+from repro.summaries.frequent import Frequent
+from repro.summaries.space_saving import SpaceSaving
+from tests.conftest import make_stream
+
+
+class TestCounterSandwich:
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_mg_below_truth_below_ss(self, events):
+        """For every item: MG ≤ truth; for monitored items: truth ≤ SS."""
+        capacity = 8
+        mg = Frequent(capacity)
+        ss = SpaceSaving(capacity)
+        stream = make_stream(events, num_periods=1)
+        truth = GroundTruth(stream)
+        for item in events:
+            mg.insert(item)
+            ss.insert(item)
+        for item in set(events):
+            real = truth.frequency(item)
+            assert mg.query(item) <= real
+            ss_estimate = ss.query(item)
+            if ss_estimate > 0:  # monitored
+                assert ss_estimate >= real
+
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_ss_total_conservation(self, events):
+        """Space-Saving conserves total count; Misra-Gries only sheds."""
+        capacity = 8
+        mg = Frequent(capacity)
+        ss = SpaceSaving(capacity)
+        for item in events:
+            mg.insert(item)
+            ss.insert(item)
+        ss_total = sum(r.frequency for r in ss.top_k(capacity))
+        mg_total = sum(r.frequency for r in mg.top_k(capacity))
+        assert ss_total == len(events)
+        assert mg_total <= len(events)
+
+
+class TestSketchSandwichOnRealisticStream:
+    def test_truth_cu_cm_ordering_everywhere(self, medium_zipf, medium_zipf_truth):
+        cm = CountMinSketch(width=512, rows=3, seed=31)
+        cu = CUSketch(width=512, rows=3, seed=31)
+        for item in medium_zipf.events:
+            cm.update(item)
+            cu.update(item)
+        violations_cu_cm = 0
+        for item in medium_zipf_truth.items():
+            real = medium_zipf_truth.frequency(item)
+            cu_est, cm_est = cu.query(item), cm.query(item)
+            assert real <= cu_est
+            if cu_est > cm_est:
+                violations_cu_cm += 1
+        assert violations_cu_cm == 0
+
+    def test_cu_strictly_tighter_in_aggregate(self, medium_zipf, medium_zipf_truth):
+        cm = CountMinSketch(width=256, rows=3, seed=32)
+        cu = CUSketch(width=256, rows=3, seed=32)
+        for item in medium_zipf.events:
+            cm.update(item)
+            cu.update(item)
+        cm_error = sum(
+            cm.query(i) - medium_zipf_truth.frequency(i)
+            for i in medium_zipf_truth.items()
+        )
+        cu_error = sum(
+            cu.query(i) - medium_zipf_truth.frequency(i)
+            for i in medium_zipf_truth.items()
+        )
+        assert cu_error < 0.75 * cm_error
+
+
+class TestLTCAgainstCounterBaselines:
+    def test_ltc_matches_exact_on_uncontended_stream(self):
+        """Everything agrees when memory is ample — the algorithms only
+        diverge under pressure."""
+        from repro.core.config import LTCConfig
+        from repro.core.ltc import LTC
+
+        rng = random.Random(44)
+        events = [rng.randrange(20) for _ in range(500)]
+        stream = make_stream(events, num_periods=5)
+        truth = GroundTruth(stream)
+
+        ltc = LTC(
+            LTCConfig(
+                num_buckets=16,
+                bucket_width=8,
+                alpha=1.0,
+                beta=0.0,
+                items_per_period=stream.period_length,
+            )
+        )
+        ss = SpaceSaving(capacity=64)
+        mg = Frequent(capacity=64)
+        stream.run(ltc)
+        for item in events:
+            ss.insert(item)
+            mg.insert(item)
+        for item in set(events):
+            real = truth.frequency(item)
+            assert ltc.estimate(item)[0] == real
+            assert ss.query(item) == real
+            assert mg.query(item) == real

@@ -1,0 +1,67 @@
+"""Two-structure combined significant-items baseline."""
+
+from __future__ import annotations
+
+from repro.combined.two_structure import TwoStructureSignificant
+from repro.membership.bloom import BloomFilter
+from repro.metrics.memory import MemoryBudget, kb
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.cu import CUSketch
+from repro.streams.ground_truth import GroundTruth
+from tests.conftest import make_stream
+
+
+def make_combined(k=10, alpha=1.0, beta=1.0) -> TwoStructureSignificant:
+    return TwoStructureSignificant(
+        freq_sketch=CountMinSketch(width=4096, rows=3, seed=1),
+        pers_sketch=CountMinSketch(width=4096, rows=3, seed=2),
+        bloom=BloomFilter(num_bits=1 << 15, num_hashes=3),
+        k=k,
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+class TestSemantics:
+    def test_combines_frequency_and_persistency(self):
+        combined = make_combined(alpha=2.0, beta=5.0)
+        stream = make_stream([1, 1, 1, 1, 1, 1], num_periods=3)
+        stream.run(combined)
+        # f = 6, p = 3 with ample memory → 2·6 + 5·3 = 27.
+        assert combined.query(1) == 27.0
+
+    def test_exact_with_ample_memory(self):
+        events = [1, 2, 1, 3, 2, 2, 1, 1, 3, 9, 9, 9]
+        stream = make_stream(events, num_periods=3)
+        truth = GroundTruth(stream)
+        combined = make_combined(alpha=1.0, beta=1.0)
+        stream.run(combined)
+        for item in truth.items():
+            assert combined.query(item) == truth.significance(item, 1.0, 1.0)
+
+    def test_heap_tracks_topk(self):
+        combined = make_combined(k=2)
+        stream = make_stream([1] * 10 + [2] * 6 + [3] * 2, num_periods=2)
+        stream.run(combined)
+        reported = {r.item for r in combined.top_k(2)}
+        assert reported == {1, 2}
+
+    def test_report_fields(self):
+        combined = make_combined(alpha=1.0, beta=1.0)
+        stream = make_stream([4, 4, 4, 4], num_periods=2)
+        stream.run(combined)
+        report = combined.top_k(1)[0]
+        assert report.item == 4
+        assert report.frequency == 4.0
+        assert report.persistency == 2.0
+        assert report.significance == 6.0
+
+
+class TestSizing:
+    def test_from_memory_builds_all_parts(self):
+        combined = TwoStructureSignificant.from_memory(
+            CUSketch, MemoryBudget(kb(16)), k=20, alpha=1.0, beta=1.0
+        )
+        assert combined.heap.capacity == 20
+        assert combined.freq_sketch.width >= combined.pers_sketch.width
+        assert combined.bloom.num_bits == kb(16) // 4 * 8

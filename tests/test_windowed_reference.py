@@ -1,0 +1,109 @@
+"""WindowedLTC vs a brute-force sliding-window oracle.
+
+The oracle tracks, for every item, the exact decayed frequency and exact
+windowed presence.  A WindowedLTC with ample capacity (no evictions)
+must agree with it exactly; a capacity-starved one must never exceed it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windowed import WindowedLTC
+from tests.conftest import make_stream
+
+
+class SlidingOracle:
+    """Exact windowed statistics (decayed frequency + presence ring)."""
+
+    def __init__(self, window: int, decay: float):
+        self.window = window
+        self.decay = decay
+        self.freq = {}
+        self.rings = {}
+
+    def insert(self, item: int) -> None:
+        self.freq[item] = self.freq.get(item, 0.0) + 1.0
+        self.rings[item] = self.rings.get(item, 0) | 1
+
+    def end_period(self) -> None:
+        mask = (1 << self.window) - 1
+        for item in list(self.rings):
+            self.rings[item] = (self.rings[item] << 1) & mask
+            self.freq[item] *= self.decay
+            # Mirror the structure's garbage collection: a cell with no
+            # window presence and sub-½ residual mass is reclaimed (its
+            # remaining decayed frequency is deliberately forgotten).
+            if self.rings[item] == 0 and self.freq[item] < 0.5:
+                del self.rings[item]
+                del self.freq[item]
+
+    def estimate(self, item: int):
+        return (
+            self.freq.get(item, 0.0),
+            bin(self.rings.get(item, 0)).count("1"),
+        )
+
+
+def run_both(events, num_periods, window, decay, w, d):
+    num_periods = max(1, min(num_periods, len(events) or 1))
+    wltc = WindowedLTC(
+        num_buckets=w,
+        window=window,
+        bucket_width=d,
+        alpha=1.0,
+        beta=1.0,
+        decay=decay,
+    )
+    oracle = SlidingOracle(window, decay)
+    if events:
+        stream = make_stream(events, num_periods=num_periods)
+        for period in stream.iter_periods():
+            for item in period:
+                wltc.insert(item)
+                oracle.insert(item)
+            wltc.end_period()
+            oracle.end_period()
+    return wltc, oracle
+
+
+class TestAgainstOracle:
+    @given(
+        st.lists(st.integers(0, 10), max_size=200),
+        st.integers(1, 6),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exact_with_ample_capacity(self, events, periods, window):
+        # 11 possible items, 64 cells → no evictions ever.
+        wltc, oracle = run_both(events, periods, window, decay=0.5, w=8, d=8)
+        for item in set(events):
+            got_f, got_p = wltc.estimate(item)
+            exp_f, exp_p = oracle.estimate(item)
+            assert got_f == pytest.approx(exp_f)
+            assert got_p == exp_p
+
+    @given(st.lists(st.integers(0, 50), max_size=300), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_never_exceeds_oracle_under_pressure(self, events, periods):
+        """With evictions, estimates only lose history — a tracked item's
+        windowed persistency never exceeds the exact value."""
+        wltc, oracle = run_both(events, periods, window=4, decay=1.0, w=1, d=3)
+        for item in set(events):
+            _, got_p = wltc.estimate(item)
+            _, exp_p = oracle.estimate(item)
+            assert got_p <= exp_p
+
+    def test_random_long_run(self):
+        rng = random.Random(31)
+        events = [rng.randrange(12) for _ in range(2_000)]
+        wltc, oracle = run_both(events, 20, window=6, decay=0.8, w=8, d=8)
+        for item in range(12):
+            got_f, got_p = wltc.estimate(item)
+            exp_f, exp_p = oracle.estimate(item)
+            assert got_p == exp_p
+            assert got_f == pytest.approx(exp_f)
