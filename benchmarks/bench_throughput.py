@@ -10,13 +10,23 @@ per-insert fountain encoding.
 
 from __future__ import annotations
 
+import json
+import pathlib
+import time
+
 from benchmarks.conftest import emit, once
 from repro.experiments.configs import (
     default_algorithms_frequent,
     default_algorithms_persistent,
 )
 from repro.metrics.memory import MemoryBudget, kb
-from repro.metrics.throughput import measure_query_throughput, measure_throughput
+from repro.metrics.throughput import (
+    ThroughputResult,
+    measure_query_throughput,
+    measure_throughput,
+)
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_throughput.json"
 
 
 def test_throughput_frequent(benchmark, bench_caida):
@@ -67,6 +77,133 @@ def test_throughput_frequent(benchmark, bench_caida):
     # (its edge shows on hit-heavy streams; see tests/test_fast_ltc.py —
     # here the claim is only "never materially slower").
     assert results["FastLTC"].mops >= ltc * 0.6
+
+
+def test_throughput_batched(benchmark):
+    """Per-event vs batched ingestion — the amortised fast path.
+
+    A Zipf-1.0 stream with ample table capacity (the hit-heavy regime the
+    batch path targets) is driven through both modes for the LTC family,
+    and through ``update``/``update_many`` for the sketches.  Results are
+    printed, appended to ``benchmarks/results/``, and written as
+    machine-readable ``BENCH_throughput.json`` at the repo root so later
+    PRs can track the perf trajectory.
+
+    Gate (also the CI throughput smoke): batched must never be slower
+    than per-event, and ``FastLTC.insert_many`` must be at least 2x
+    per-event ``FastLTC.insert``.
+    """
+    from repro.core.config import LTCConfig
+    from repro.core.fast_ltc import FastLTC
+    from repro.core.ltc import LTC
+    from repro.sketches.count_min import CountMinSketch
+    from repro.sketches.count_sketch import CountSketch
+    from repro.sketches.cu import CUSketch
+    from repro.streams.synthetic import zipf_stream
+
+    stream = zipf_stream(
+        num_events=100_000, num_distinct=1_000, skew=1.0, num_periods=5, seed=42
+    )
+    config = LTCConfig(
+        num_buckets=128,
+        bucket_width=8,
+        alpha=1.0,
+        beta=1.0,
+        items_per_period=stream.period_length,
+    )
+    summaries = {"LTC": lambda: LTC(config), "FastLTC": lambda: FastLTC(config)}
+    sketches = {
+        "CM": lambda: CountMinSketch(width=2_048, rows=3),
+        "CU": lambda: CUSketch(width=2_048, rows=3),
+        "Count": lambda: CountSketch(width=2_048, rows=3),
+    }
+
+    def measure_sketch(name, factory, batched) -> ThroughputResult:
+        best = float("inf")
+        for _ in range(3):
+            sketch = factory()
+            start = time.perf_counter()
+            if batched:
+                for period in stream.iter_periods():
+                    sketch.update_many(period)
+            else:
+                update = sketch.update
+                for item in stream.events:
+                    update(item)
+            best = min(best, time.perf_counter() - start)
+        return ThroughputResult(
+            name=name,
+            events=len(stream),
+            seconds=best,
+            mode="batched" if batched else "per-event",
+        )
+
+    def run():
+        results = {}
+        for name, factory in summaries.items():
+            results[name] = (
+                measure_throughput(factory, stream, name=name, repeats=3),
+                measure_throughput(
+                    factory, stream, name=name, repeats=3, batched=True
+                ),
+            )
+        for name, factory in sketches.items():
+            results[name] = (
+                measure_sketch(name, factory, batched=False),
+                measure_sketch(name, factory, batched=True),
+            )
+        return results
+
+    results = once(benchmark, run)
+    speedups = {
+        name: batched.ops / per_event.ops
+        for name, (per_event, batched) in results.items()
+    }
+    emit(
+        "throughput",
+        ["algorithm", "per-event Mops", "batched Mops", "speedup"],
+        [
+            (
+                name,
+                f"{per_event.mops:.3f}",
+                f"{batched.mops:.3f}",
+                f"{speedups[name]:.2f}x",
+            )
+            for name, (per_event, batched) in results.items()
+        ],
+        title="Batched vs per-event ingestion (zipf-1.0, ample capacity)",
+    )
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "benchmark": "benchmarks/bench_throughput.py::test_throughput_batched",
+                "generated_at": time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                ),
+                "stream": {
+                    "kind": "zipf",
+                    "skew": 1.0,
+                    "num_events": len(stream),
+                    "num_distinct": 1_000,
+                    "num_periods": stream.num_periods,
+                    "seed": 42,
+                },
+                "results": [
+                    result.to_dict()
+                    for pair in results.values()
+                    for result in pair
+                ],
+                "speedups": speedups,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    # The batched path exists purely as an acceleration: never slower.
+    for name, speedup in speedups.items():
+        assert speedup >= 1.0, f"{name} batched slower than per-event"
+    # And the headline claim: the FastLTC batch path is >= 2x per-event.
+    assert speedups["FastLTC"] >= 2.0
 
 
 def test_query_throughput(benchmark, bench_caida):

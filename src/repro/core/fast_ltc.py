@@ -42,6 +42,57 @@ class FastLTC(LTC):
             self._freqs[slot] += 1
             self._flags[slot] |= self._set_bit
             return
+        self._place_miss(item)
+
+    def insert_many(self, items) -> None:
+        """Batched arrivals with the hit path inlined into the chunk loop.
+
+        Chunking mirrors ``LTC.insert_many`` (harvests land at the same
+        arrival positions as the one-at-a-time path); within a chunk a hit
+        costs one dict probe and two list writes.  ``_set_bit`` is constant
+        for the whole call — it only changes in ``end_period``.
+        """
+        try:
+            total = len(items)
+        except TypeError:
+            items = list(items)
+            total = len(items)
+        harvest = self._harvest
+        clock = self._clock
+        take = clock._take
+        n = clock.items_per_period
+        m = clock.num_cells
+        acc = clock._acc
+        get = self._slot_of.get
+        freqs = self._freqs
+        flags = self._flags
+        set_bit = self._set_bit
+        miss = self._place_miss
+        i = 0
+        while i < total:
+            # Inlined clock arithmetic (arrivals_until_harvest/on_arrivals):
+            # place every arrival that provably triggers no sweep step,
+            # plus the one that does, then take that chunk's steps at once.
+            j = i + (n - 1 - acc) // m + 1
+            if j > total:
+                j = total
+            for item in items[i:j]:
+                slot = get(item)
+                if slot is not None:
+                    freqs[slot] += 1
+                    flags[slot] |= set_bit
+                else:
+                    miss(item)
+            acc += (j - i) * m
+            steps = acc // n
+            if steps:
+                acc -= steps * n
+                for slot in take(steps):
+                    harvest(slot)
+            i = j
+        clock._acc = acc
+
+    def _place_miss(self, item: int) -> None:
         d = self._d
         base = (splitmix64(item ^ self._seed) % self._w) * d
         keys = self._keys
@@ -112,3 +163,9 @@ class FastLTC(LTC):
         """Reset the structure (and its index) to the fresh state."""
         super().clear()
         self._slot_of.clear()
+
+    def _reindex(self) -> None:
+        """Rebuild the item→slot index from the cell arrays (restore path)."""
+        self._slot_of = {
+            key: j for j, key in enumerate(self._keys) if key is not None
+        }

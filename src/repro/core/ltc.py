@@ -94,6 +94,47 @@ class LTC(StreamSummary):
         for slot in self._clock.on_arrival():
             self._harvest(slot)
 
+    def insert_many(self, items) -> None:
+        """Process a batch of arrivals (count-based CLOCK advancement).
+
+        Equivalent to ``insert`` per item, cell for cell: arrivals that
+        provably trigger no CLOCK step are placed in a tight loop, then the
+        chunk's sweep steps are taken in one amortised pass (the inlined
+        form of :meth:`~repro.core.clock.ClockPointer.on_arrivals`) at
+        exactly the arrival position where the one-at-a-time path would
+        take them.
+        """
+        try:
+            total = len(items)
+        except TypeError:
+            items = list(items)
+            total = len(items)
+        place = self._place
+        harvest = self._harvest
+        clock = self._clock
+        take = clock._take
+        n = clock.items_per_period
+        m = clock.num_cells
+        acc = clock._acc
+        i = 0
+        while i < total:
+            # Inlined clock arithmetic (arrivals_until_harvest/on_arrivals):
+            # place every arrival that provably triggers no sweep step,
+            # plus the one that does, then take that chunk's steps at once.
+            j = i + (n - 1 - acc) // m + 1
+            if j > total:
+                j = total
+            for item in items[i:j]:
+                place(item)
+            acc += (j - i) * m
+            steps = acc // n
+            if steps:
+                acc -= steps * n
+                for slot in take(steps):
+                    harvest(slot)
+            i = j
+        clock._acc = acc
+
     def insert_timed(self, item: int, timestamp: float, period_seconds: float) -> None:
         """Process one arrival with a wall-clock timestamp.
 
@@ -255,6 +296,14 @@ class LTC(StreamSummary):
         ]
         reports.sort(key=lambda r: (-r.significance, r.item))
         return reports[:k]
+
+    def _reindex(self) -> None:
+        """Rebuild any derived lookup state from the cell arrays.
+
+        No-op for the reference class; :class:`repro.core.fast_ltc.FastLTC`
+        rebuilds its item→slot index here.  Called by the serializer after
+        restoring cells.
+        """
 
     # ----------------------------------------------------------- inspection
     def cells(self) -> Iterator[CellView]:

@@ -31,6 +31,8 @@ from repro.core.ltc import LTC
 def merge(
     summaries: Sequence[LTC],
     num_periods: Optional[int] = None,
+    *,
+    check_period: bool = True,
 ) -> LTC:
     """Merge LTC summaries into a new LTC with the shared configuration.
 
@@ -43,12 +45,17 @@ def merge(
         num_periods: Total periods of the logical stream; when given,
             merged persistency is clipped to it (relevant for arbitrary
             splits where addition over-counts).
+        check_period: Also require identical ``items_per_period``.  Leave
+            on for same-stream checkpoint merging; coordinators whose
+            sites share the *logical* period structure but see different
+            arrival counts per period (so each site's CLOCK runs at its
+            own rate) disable it deliberately.
     """
     if not summaries:
         raise ValueError("nothing to merge")
     first = summaries[0]
     for other in summaries[1:]:
-        _check_compatible(first, other)
+        _check_compatible(first, other, check_period=check_period)
 
     merged = LTC(first.config)
     alpha, beta = first.config.alpha, first.config.beta
@@ -86,15 +93,24 @@ def merge(
     return merged
 
 
-def _check_compatible(a: LTC, b: LTC) -> None:
+def _check_compatible(a: LTC, b: LTC, *, check_period: bool = True) -> None:
     ca, cb = a.config, b.config
-    fields = (
+    fields = [
         "num_buckets",
         "bucket_width",
         "alpha",
         "beta",
         "seed",
-    )
+        # Flag semantics (one vs two flag bits per cell) must line up for
+        # the defensive pending-flag fold to mean the same thing.
+        "deviation_eliminator",
+        # Different policies produce cells with incomparable biases
+        # (e.g. space-saving overestimates); compare the *effective*
+        # policy so longtail_replacement=False equals policy="one".
+        "effective_replacement_policy",
+    ]
+    if check_period:
+        fields.append("items_per_period")
     for field in fields:
         if getattr(ca, field) != getattr(cb, field):
             raise ValueError(

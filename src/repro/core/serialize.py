@@ -9,22 +9,47 @@ Two formats:
   persistency counter, flag bits), preceded by a small header with the
   configuration and CLOCK position.
 
-Restoring reproduces the structure exactly: estimates, CLOCK phase and
-period parity all survive a round-trip (property-tested).
+Restoring reproduces the structure exactly: estimates, CLOCK phase,
+period parity, the timed-mode accumulator and last-seen timestamp all
+survive a round-trip (property-tested), so a stream split by
+checkpoint/restore is bit-identical to an uninterrupted run in both
+count-based and timed driving modes.
+
+Binary format versions:
+
+* ``LTC1`` (v1) — config, parity, CLOCK ``hand``/``scanned``/``_acc``.
+  Readable forever; no longer written.
+* ``LTC2`` (v2) — v1 plus the timed-mode state the v1 header silently
+  dropped: the fractional CLOCK accumulator ``_facc`` and
+  ``LTC._last_timestamp`` (with a presence flag).  Current write format.
+
+Both restore paths accept a ``cls=`` parameter (default
+:class:`repro.core.ltc.LTC`) so engineering subclasses such as
+:class:`repro.core.fast_ltc.FastLTC` can be revived as themselves; after
+the cells are filled the subclass hook ``_reindex()`` rebuilds any
+derived lookup state (FastLTC's item→slot index).
 """
 
 from __future__ import annotations
 
+import math
 import struct
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Type
 
 from repro.core.config import LTCConfig
 from repro.core.ltc import LTC
 
-_MAGIC = b"LTC1"
+_MAGIC_V1 = b"LTC1"
+_MAGIC_V2 = b"LTC2"
 _EMPTY_KEY = 0xFFFFFFFFFFFFFFFF
-_HEADER = struct.Struct("<4sIIddIBBBxIIIqQ")
+_HEADER_V1 = struct.Struct("<4sIIddIBBBxIIIqQ")
+# v2 appends: facc (double), has_timestamp (byte), last_timestamp (double).
+_HEADER_V2 = struct.Struct("<4sIIddIBBBxIIIqQdBd")
+_HEADER = _HEADER_V2  # the write format
 _CELL = struct.Struct("<QiiB")
+
+_POLICY_CODES = {None: 0, "longtail": 1, "one": 2, "space-saving": 3}
+_POLICY_NAMES = {code: name for name, code in _POLICY_CODES.items()}
 
 
 def to_state(ltc: LTC) -> Dict[str, Any]:
@@ -43,9 +68,11 @@ def to_state(ltc: LTC) -> Dict[str, Any]:
             "seed": cfg.seed,
         },
         "parity": ltc._parity,
+        "last_timestamp": ltc._last_timestamp,
         "clock": {
             "hand": ltc._clock.hand,
             "acc": ltc._clock._acc,
+            "facc": ltc._clock._facc,
             "scanned_in_period": ltc._clock.scanned_in_period,
         },
         "cells": [
@@ -60,9 +87,13 @@ def to_state(ltc: LTC) -> Dict[str, Any]:
     }
 
 
-def from_state(state: Dict[str, Any]) -> LTC:
-    """Rebuild an LTC from :func:`to_state` output."""
-    ltc = LTC(LTCConfig(**state["config"]))
+def from_state(state: Dict[str, Any], cls: Type[LTC] = LTC) -> LTC:
+    """Rebuild an LTC (or subclass ``cls``) from :func:`to_state` output.
+
+    States written before the format carried ``facc``/``last_timestamp``
+    restore with those fields at their fresh-structure defaults.
+    """
+    ltc = cls(LTCConfig(**state["config"]))
     cells = state["cells"]
     if len(cells) != ltc.total_cells:
         raise ValueError("cell count does not match configuration")
@@ -71,28 +102,37 @@ def from_state(state: Dict[str, Any]) -> LTC:
         ltc._freqs[j] = cell["freq"]
         ltc._counters[j] = cell["counter"]
         ltc._flags[j] = cell["flags"]
-    _restore_dynamic(ltc, state["parity"], state["clock"])
+    _restore_dynamic(
+        ltc, state["parity"], state["clock"], state.get("last_timestamp")
+    )
     return ltc
 
 
-def _restore_dynamic(ltc: LTC, parity: int, clock: Dict[str, int]) -> None:
+def _restore_dynamic(
+    ltc: LTC,
+    parity: int,
+    clock: Dict[str, Any],
+    last_timestamp: Optional[float] = None,
+) -> None:
     ltc._parity = parity
     if ltc._de:
         ltc._set_bit = 1 << parity
         ltc._harvest_bit = 1 << (parity ^ 1)
     ltc._clock.hand = clock["hand"]
     ltc._clock._acc = clock["acc"]
+    ltc._clock._facc = clock.get("facc", 0.0)
     ltc._clock.scanned_in_period = clock["scanned_in_period"]
+    ltc._last_timestamp = last_timestamp
+    ltc._reindex()
 
 
 def to_bytes(ltc: LTC) -> bytes:
-    """Serialise an LTC to a compact binary image."""
+    """Serialise an LTC to a compact binary image (v2 format)."""
     cfg = ltc.config
-    policy_code = {None: 0, "longtail": 1, "one": 2, "space-saving": 3}[
-        cfg.replacement_policy
-    ]
-    header = _HEADER.pack(
-        _MAGIC,
+    policy_code = _POLICY_CODES[cfg.replacement_policy]
+    ts = ltc._last_timestamp
+    header = _HEADER_V2.pack(
+        _MAGIC_V2,
         cfg.num_buckets,
         cfg.bucket_width,
         cfg.alpha,
@@ -106,6 +146,9 @@ def to_bytes(ltc: LTC) -> bytes:
         ltc._clock.scanned_in_period,
         ltc._clock._acc,
         cfg.seed & 0xFFFFFFFFFFFFFFFF,
+        ltc._clock._facc,
+        int(ts is not None),
+        0.0 if ts is None else ts,
     )
     cells = bytearray()
     for j in range(ltc.total_cells):
@@ -119,10 +162,20 @@ def to_bytes(ltc: LTC) -> bytes:
     return header + bytes(cells)
 
 
-def from_bytes(blob: bytes) -> LTC:
-    """Restore an LTC from :func:`to_bytes` output."""
-    if blob[:4] != _MAGIC:
+def from_bytes(blob: bytes, cls: Type[LTC] = LTC) -> LTC:
+    """Restore an LTC (or subclass ``cls``) from :func:`to_bytes` output.
+
+    Reads both the current v2 images and legacy v1 ``LTC1`` images (whose
+    timed-mode accumulator and last timestamp restore as fresh defaults).
+    """
+    magic = blob[:4]
+    if magic == _MAGIC_V2:
+        header_struct = _HEADER_V2
+    elif magic == _MAGIC_V1:
+        header_struct = _HEADER_V1
+    else:
         raise ValueError("not an LTC image (bad magic)")
+    fields = header_struct.unpack_from(blob, 0)
     (
         _,
         num_buckets,
@@ -138,9 +191,18 @@ def from_bytes(blob: bytes) -> LTC:
         scanned,
         acc,
         seed,
-    ) = _HEADER.unpack_from(blob, 0)
-    policy = {0: None, 1: "longtail", 2: "one", 3: "space-saving"}[policy_code]
-    ltc = LTC(
+    ) = fields[:14]
+    if magic == _MAGIC_V2:
+        facc, has_ts, last_timestamp_raw = fields[14:]
+        last_timestamp: Optional[float] = last_timestamp_raw if has_ts else None
+        if last_timestamp is not None and math.isnan(last_timestamp):
+            raise ValueError("corrupt LTC image (NaN timestamp)")
+    else:
+        facc, last_timestamp = 0.0, None
+    if policy_code not in _POLICY_NAMES:
+        raise ValueError(f"corrupt LTC image (unknown policy code {policy_code})")
+    policy = _POLICY_NAMES[policy_code]
+    ltc = cls(
         LTCConfig(
             num_buckets=num_buckets,
             bucket_width=bucket_width,
@@ -153,7 +215,7 @@ def from_bytes(blob: bytes) -> LTC:
             seed=seed,
         )
     )
-    offset = _HEADER.size
+    offset = header_struct.size
     for j in range(ltc.total_cells):
         key, freq, counter, flags = _CELL.unpack_from(blob, offset)
         offset += _CELL.size
@@ -164,6 +226,9 @@ def from_bytes(blob: bytes) -> LTC:
     if offset != len(blob):
         raise ValueError("trailing bytes in LTC image")
     _restore_dynamic(
-        ltc, parity, {"hand": hand, "acc": acc, "scanned_in_period": scanned}
+        ltc,
+        parity,
+        {"hand": hand, "acc": acc, "facc": facc, "scanned_in_period": scanned},
+        last_timestamp,
     )
     return ltc

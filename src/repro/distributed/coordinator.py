@@ -37,10 +37,14 @@ class MergingCoordinator:
         config: The LTC configuration every site instantiates.  The
             count-based CLOCK needs each site's own period length, so the
             per-site config overrides ``items_per_period``.
+        batched: Ship each period to its site as one ``insert_many``
+            batch (the default; differentially tested to be identical to
+            per-event insertion, just faster).
     """
 
-    def __init__(self, config: LTCConfig):
+    def __init__(self, config: LTCConfig, batched: bool = True):
         self.config = config
+        self.batched = batched
 
     def run(
         self, site_streams: Sequence[PeriodicStream], k: int
@@ -54,10 +58,12 @@ class MergingCoordinator:
                 items_per_period=stream.period_length
             )
             ltc = LTC(site_config)
-            stream.run(ltc)
+            stream.run(ltc, batched=self.batched)
             communication += len(to_bytes(ltc))
             summaries.append(ltc)
-        merged = merge(summaries, num_periods=num_periods)
+        # Sites share the logical period structure but see different
+        # arrival counts, so their CLOCK rates legitimately differ.
+        merged = merge(summaries, num_periods=num_periods, check_period=False)
         return CoordinatorReport(
             top_k=[(r.item, r.significance) for r in merged.top_k(k)],
             communication_bytes=communication,

@@ -12,6 +12,11 @@ from __future__ import annotations
 
 from typing import Iterable
 
+try:  # numpy accelerates batch updates; everything degrades to loops without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 _GOLDEN = 0x9E3779B97F4A7C15
 
@@ -26,6 +31,37 @@ def splitmix64(x: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
     return (x ^ (x >> 31)) & _MASK64
+
+
+def splitmix64_array(keys):
+    """Vectorised :func:`splitmix64` over a ``uint64`` numpy array.
+
+    Bit-for-bit identical to the scalar function per element (uint64
+    arithmetic wraps modulo 2**64 exactly like the scalar's masking).
+    Requires numpy; callers gate on :func:`numpy_available`.
+    """
+    x = keys + _np.uint64(_GOLDEN)
+    x = (x ^ (x >> _np.uint64(30))) * _np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> _np.uint64(27))) * _np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> _np.uint64(31))
+
+
+def numpy_available() -> bool:
+    """Whether the numpy-vectorised batch paths can be used."""
+    return _np is not None
+
+
+def as_key_array(keys):
+    """Canonicalise a batch of integer keys to a ``uint64`` numpy array.
+
+    Matches the scalar paths' implicit masking: ``splitmix64`` masks its
+    input to 64 bits, so out-of-range or negative keys reduce modulo
+    2**64 — the fallback loop applies the same reduction.
+    """
+    try:
+        return _np.asarray(keys, dtype=_np.uint64)
+    except (OverflowError, TypeError, ValueError):
+        return _np.array([int(k) & _MASK64 for k in keys], dtype=_np.uint64)
 
 
 def fnv1a64(data: bytes) -> int:
@@ -94,3 +130,10 @@ class HashFamily:
         """Return member ``index`` as a standalone ``key -> int`` callable."""
         seed = self._seed_for(index)
         return lambda key: splitmix64(key ^ seed)
+
+    def hash_array(self, index: int, keys):
+        """Vectorised :meth:`hash` over a ``uint64`` numpy array of keys.
+
+        Element-for-element equal to ``member(index)`` applied per key.
+        """
+        return splitmix64_array(keys ^ _np.uint64(self._seed_for(index)))

@@ -20,6 +20,7 @@ class ThroughputResult:
     name: str
     events: int
     seconds: float
+    mode: str = "per-event"  # "per-event" or "batched"
 
     @property
     def mops(self) -> float:
@@ -28,8 +29,27 @@ class ThroughputResult:
             return float("inf")
         return self.events / self.seconds / 1e6
 
+    @property
+    def ops(self) -> float:
+        """Insertions per second."""
+        return self.mops * 1e6
+
+    def to_dict(self) -> dict:
+        """JSON-safe record (consumed by ``BENCH_throughput.json``)."""
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "events": self.events,
+            "seconds": self.seconds,
+            "ops_per_second": self.ops,
+            "mops": self.mops,
+        }
+
     def __str__(self) -> str:
-        return f"{self.name}: {self.mops:.3f} Mops ({self.events} events)"
+        return (
+            f"{self.name} [{self.mode}]: {self.mops:.3f} Mops "
+            f"({self.events} events)"
+        )
 
 
 def measure_query_throughput(
@@ -63,6 +83,7 @@ def measure_throughput(
     stream: PeriodicStream,
     name: str = "summary",
     repeats: int = 1,
+    batched: bool = False,
 ) -> ThroughputResult:
     """Measure end-to-end insertion throughput of a summary.
 
@@ -72,12 +93,36 @@ def measure_throughput(
         name: Label for the result.
         repeats: Number of fresh runs; the fastest is reported (standard
             practice to suppress scheduler noise).
+        batched: Drive the stream through the ``insert_many`` fast path
+            (``PeriodicStream.run(batched=True)``) instead of per-event
+            inserts.
     """
     best = float("inf")
     for _ in range(max(1, repeats)):
         summary = factory()
         start = time.perf_counter()
-        stream.run(summary)
+        stream.run(summary, batched=batched)
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
-    return ThroughputResult(name=name, events=len(stream), seconds=best)
+    return ThroughputResult(
+        name=name,
+        events=len(stream),
+        seconds=best,
+        mode="batched" if batched else "per-event",
+    )
+
+
+def compare_modes(
+    factory,
+    stream: PeriodicStream,
+    name: str = "summary",
+    repeats: int = 2,
+) -> "tuple[ThroughputResult, ThroughputResult]":
+    """Measure the same summary per-event and batched over one stream."""
+    per_event = measure_throughput(
+        factory, stream, name=name, repeats=repeats, batched=False
+    )
+    batched = measure_throughput(
+        factory, stream, name=name, repeats=repeats, batched=True
+    )
+    return per_event, batched

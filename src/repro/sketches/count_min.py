@@ -9,8 +9,13 @@ from __future__ import annotations
 
 from array import array
 
-from repro.hashing.family import HashFamily
+from repro.hashing.family import HashFamily, as_key_array, numpy_available
 from repro.metrics.memory import MemoryBudget
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 
 class CountMinSketch:
@@ -44,6 +49,31 @@ class CountMinSketch:
         width = self.width
         for table, h in zip(self._tables, self._hashes):
             table[h(key) % width] += delta
+
+    def update_many(self, keys, delta: int = 1) -> None:
+        """Add ``delta`` to every key's counters in one vectorised pass.
+
+        CM updates are pure additions, so batching commutes: the result is
+        cell-for-cell identical to calling :meth:`update` per key in any
+        order.  Duplicate keys are folded with ``numpy.unique`` so a
+        Zipfian batch hashes each distinct key once.  Falls back to a
+        plain loop when numpy is unavailable.
+        """
+        if not numpy_available():
+            update = self.update
+            for key in keys:
+                update(key, delta)
+            return
+        arr = as_key_array(keys)
+        if arr.size == 0:
+            return
+        uniq, counts = _np.unique(arr, return_counts=True)
+        deltas = counts.astype(_np.int64) * delta
+        width = _np.uint64(self.width)
+        for row, table in enumerate(self._tables):
+            idx = (self._family.hash_array(row, uniq) % width).astype(_np.int64)
+            view = _np.frombuffer(table, dtype=_np.int64)
+            _np.add.at(view, idx, deltas)
 
     def query(self, key: int) -> int:
         """Point-estimate ``key``'s count (never an underestimate)."""

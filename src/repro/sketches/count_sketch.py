@@ -10,8 +10,13 @@ from __future__ import annotations
 import statistics
 from array import array
 
-from repro.hashing.family import HashFamily
+from repro.hashing.family import HashFamily, as_key_array, numpy_available
 from repro.metrics.memory import MemoryBudget
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 
 class CountSketch:
@@ -29,6 +34,7 @@ class CountSketch:
         self.width = width
         self.rows = rows
         family = HashFamily(seed)
+        self._family = family
         self._tables = [array("q", [0]) * width for _ in range(rows)]
         self._bucket_hashes = [family.member(2 * i) for i in range(rows)]
         self._sign_hashes = [family.member(2 * i + 1) for i in range(rows)]
@@ -48,6 +54,34 @@ class CountSketch:
         ):
             sign = 1 if sh(key) & 1 else -1
             table[bh(key) % width] += sign * delta
+
+    def update_many(self, keys, delta: int = 1) -> None:
+        """Add ``delta`` to every key (signed per row) in one pass.
+
+        Signed additions commute, so the batch is cell-for-cell identical
+        to per-key :meth:`update` calls; duplicates fold via
+        ``numpy.unique``.  Falls back to a loop without numpy.
+        """
+        if not numpy_available():
+            update = self.update
+            for key in keys:
+                update(key, delta)
+            return
+        arr = as_key_array(keys)
+        if arr.size == 0:
+            return
+        uniq, counts = _np.unique(arr, return_counts=True)
+        deltas = counts.astype(_np.int64) * delta
+        width = _np.uint64(self.width)
+        one = _np.uint64(1)
+        for row in range(self.rows):
+            idx = (self._family.hash_array(2 * row, uniq) % width).astype(
+                _np.int64
+            )
+            sign_bits = self._family.hash_array(2 * row + 1, uniq) & one
+            signed = _np.where(sign_bits.astype(bool), deltas, -deltas)
+            view = _np.frombuffer(self._tables[row], dtype=_np.int64)
+            _np.add.at(view, idx, signed)
 
     def query(self, key: int) -> int:
         """Median-of-signed-counters point estimate (can be negative)."""

@@ -33,6 +33,19 @@ class StreamSummary(abc.ABC):
     def insert(self, item: int) -> None:
         """Process one arrival of ``item``."""
 
+    def insert_many(self, items) -> None:
+        """Process a batch of arrivals, in order.
+
+        Semantically identical to calling :meth:`insert` per item; the
+        default is a plain loop with the method lookup hoisted.  Summaries
+        with a cheaper amortised batch path (LTC, FastLTC) override this —
+        differential tests pin every override cell-for-cell equal to the
+        one-at-a-time reference.
+        """
+        insert = self.insert
+        for item in items:
+            insert(item)
+
     def end_period(self) -> None:
         """React to a period boundary (no-op for frequency-only summaries)."""
 

@@ -45,6 +45,58 @@ class TestValidation:
         with pytest.raises(ValueError, match="seed"):
             merge([fresh_ltc(seed=1), fresh_ltc(seed=2)])
 
+    def make(self, **overrides) -> LTC:
+        cfg = dict(
+            num_buckets=4, bucket_width=4, alpha=1.0, beta=1.0,
+            items_per_period=100,
+        )
+        cfg.update(overrides)
+        return LTC(LTCConfig(**cfg))
+
+    def test_incompatible_deviation_eliminator(self):
+        """Flag semantics (one vs two flag bits) must line up."""
+        with pytest.raises(ValueError, match="deviation_eliminator"):
+            merge(
+                [
+                    self.make(deviation_eliminator=True),
+                    self.make(deviation_eliminator=False),
+                ]
+            )
+
+    def test_incompatible_replacement_policy(self):
+        """Space-saving cells overestimate; mixing policies is rejected."""
+        with pytest.raises(ValueError, match="replacement_policy"):
+            merge(
+                [
+                    self.make(replacement_policy="longtail"),
+                    self.make(replacement_policy="space-saving"),
+                ]
+            )
+
+    def test_effective_policy_comparison(self):
+        """policy=None with longtail_replacement=False equals an explicit
+        'one' policy — and differs from the longtail default."""
+        merge(
+            [
+                self.make(longtail_replacement=False),
+                self.make(replacement_policy="one"),
+            ]
+        )
+        with pytest.raises(ValueError, match="replacement_policy"):
+            merge([self.make(), self.make(longtail_replacement=False)])
+
+    def test_incompatible_items_per_period(self):
+        with pytest.raises(ValueError, match="items_per_period"):
+            merge([self.make(items_per_period=10), self.make(items_per_period=20)])
+
+    def test_items_per_period_check_can_be_waived(self):
+        """Coordinators with per-site CLOCK rates opt out explicitly."""
+        merged = merge(
+            [self.make(items_per_period=10), self.make(items_per_period=20)],
+            check_period=False,
+        )
+        assert merged.config.items_per_period == 10
+
 
 class TestItemShardedMerge:
     """Disjoint item partitions: per-item statistics merge exactly."""

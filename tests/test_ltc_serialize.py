@@ -126,6 +126,110 @@ class TestBytesRoundTrip:
         assert snapshots_equal(ltc, restored)
 
 
+class TestTimedStateRoundTrip:
+    """The v2 fields: ``_clock._facc`` and ``LTC._last_timestamp``."""
+
+    def drive_timed(self, ltc: LTC, arrivals) -> None:
+        for item, ts in arrivals:
+            ltc.insert_timed(item, ts, period_seconds=1.0)
+
+    def timed_ltc(self) -> LTC:
+        ltc = LTC(
+            LTCConfig(
+                num_buckets=2, bucket_width=4, alpha=1.0, beta=2.0,
+                items_per_period=1,
+            )
+        )
+        self.drive_timed(ltc, [(1, 0.0), (2, 0.35), (1, 0.61), (3, 1.07)])
+        return ltc
+
+    @pytest.mark.parametrize(
+        "roundtrip",
+        [lambda l: from_state(to_state(l)), lambda l: from_bytes(to_bytes(l))],
+        ids=["state", "bytes"],
+    )
+    def test_facc_and_timestamp_survive(self, roundtrip):
+        ltc = self.timed_ltc()
+        restored = roundtrip(ltc)
+        assert restored._clock._facc == ltc._clock._facc
+        assert restored._last_timestamp == ltc._last_timestamp
+        assert snapshots_equal(ltc, restored)
+
+    @pytest.mark.parametrize(
+        "roundtrip",
+        [lambda l: from_state(to_state(l)), lambda l: from_bytes(to_bytes(l))],
+        ids=["state", "bytes"],
+    )
+    def test_restored_rejects_backwards_timestamps(self, roundtrip):
+        restored = roundtrip(self.timed_ltc())
+        with pytest.raises(ValueError, match="non-decreasing"):
+            restored.insert_timed(9, 0.5, period_seconds=1.0)
+
+    def test_untimed_ltc_roundtrips_without_timestamp(self):
+        ltc = build_ltc([1, 2, 3])
+        restored = from_bytes(to_bytes(ltc))
+        assert restored._last_timestamp is None
+
+    def test_state_without_v2_fields_still_restores(self):
+        """Dict states written by the previous format lack facc and
+        last_timestamp; they restore with fresh defaults."""
+        state = to_state(build_ltc([1, 2, 1]))
+        del state["last_timestamp"]
+        del state["clock"]["facc"]
+        restored = from_state(state)
+        assert restored._clock._facc == 0.0
+        assert restored._last_timestamp is None
+
+
+class TestSubclassRestore:
+    """``cls=`` revives engineering subclasses with their index rebuilt."""
+
+    def fast_ltc(self):
+        from repro.core.fast_ltc import FastLTC
+
+        fast = FastLTC(
+            LTCConfig(
+                num_buckets=2, bucket_width=4, alpha=1.0, beta=1.0,
+                items_per_period=5,
+            )
+        )
+        stream = make_stream([1, 2, 1, 3, 1, 2, 4, 5, 1, 6], num_periods=2)
+        stream.run(fast)
+        return fast
+
+    @pytest.mark.parametrize(
+        "roundtrip",
+        [
+            lambda l, cls: from_state(to_state(l), cls=cls),
+            lambda l, cls: from_bytes(to_bytes(l), cls=cls),
+        ],
+        ids=["state", "bytes"],
+    )
+    def test_fast_ltc_roundtrip(self, roundtrip):
+        from repro.core.fast_ltc import FastLTC
+
+        fast = self.fast_ltc()
+        restored = roundtrip(fast, FastLTC)
+        assert type(restored) is FastLTC
+        assert snapshots_equal(fast, restored)
+        assert restored._slot_of == fast._slot_of
+
+    def test_restored_fast_ltc_continues_identically(self):
+        from repro.core.fast_ltc import FastLTC
+
+        fast = self.fast_ltc()
+        restored = from_bytes(to_bytes(fast), cls=FastLTC)
+        for item in (1, 7, 1, 8, 2):
+            fast.insert(item)
+            restored.insert(item)
+        assert snapshots_equal(fast, restored)
+        assert restored._slot_of == fast._slot_of
+
+    def test_default_cls_is_reference_ltc(self):
+        restored = from_bytes(to_bytes(self.fast_ltc()))
+        assert type(restored) is LTC
+
+
 class TestCorruptionRobustness:
     def test_truncated_blob_rejected(self):
         blob = to_bytes(build_ltc([1, 2, 3]))
@@ -149,13 +253,25 @@ class TestCorruptionRobustness:
 
 
 class TestFormatStability:
-    """Golden-image test: the binary layout is a persistence format, so
-    accidental drift (field reorder, width change) must fail loudly."""
+    """Golden-image tests: the binary layout is a persistence format, so
+    accidental drift (field reorder, width change) must fail loudly.
 
-    GOLDEN_HEX = (
+    ``GOLDEN_HEX_V2`` pins the current write format; ``GOLDEN_HEX_V1`` is
+    a legacy ``LTC1`` image that must stay readable forever (it predates
+    the v2 fields ``_facc``/``_last_timestamp``, which restore as fresh
+    defaults).
+    """
+
+    GOLDEN_HEX_V1 = (
         "4c5443310100000002000000000000000000f03f0000000000000040030000000101"
         "0000010000000000000000000000000000000000000007000000000000000a000000"
         "000000000200000000000000010b00000000000000010000000000000001"
+    )
+    GOLDEN_HEX_V2 = (
+        "4c5443320100000002000000000000000000f03f0000000000000040030000000101"
+        "00000100000000000000000000000000000000000000070000000000000000000000"
+        "000000000000000000000000000a000000000000000200000000000000010b000000"
+        "00000000010000000000000001"
     )
 
     def make_golden_ltc(self) -> LTC:
@@ -175,10 +291,27 @@ class TestFormatStability:
         return ltc
 
     def test_serialisation_matches_golden_image(self):
-        assert to_bytes(self.make_golden_ltc()).hex() == self.GOLDEN_HEX
+        assert to_bytes(self.make_golden_ltc()).hex() == self.GOLDEN_HEX_V2
 
     def test_golden_image_deserialises(self):
-        restored = from_bytes(bytes.fromhex(self.GOLDEN_HEX))
+        restored = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V2))
         assert restored.estimate(10) == (2, 0)
         assert restored.estimate(11) == (1, 0)
         assert restored.config.beta == 2.0
+
+    def test_v1_golden_image_still_readable(self):
+        restored = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V1))
+        assert restored.estimate(10) == (2, 0)
+        assert restored.estimate(11) == (1, 0)
+        assert restored.config.beta == 2.0
+        assert restored._clock._facc == 0.0
+        assert restored._last_timestamp is None
+
+    def test_v1_image_equivalent_to_v2_for_count_based_state(self):
+        """A v1 image of a count-driven LTC restores to the same cells
+        and CLOCK phase as the v2 image of the same structure."""
+        via_v1 = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V1))
+        via_v2 = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V2))
+        assert list(via_v1.cells()) == list(via_v2.cells())
+        assert via_v1._clock.hand == via_v2._clock.hand
+        assert via_v1._clock._acc == via_v2._clock._acc
