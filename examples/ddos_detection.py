@@ -9,7 +9,7 @@ Run:  python examples/ddos_detection.py
 
 import random
 
-from repro import LTC, LTCConfig, MemoryBudget, kb
+from repro import LTC, MemoryBudget, kb
 from repro.streams import PeriodicStream
 
 rng = random.Random(2024)

@@ -11,7 +11,6 @@ the *future* traffic the chosen flows actually carry.
 Run:  python examples/network_scheduling.py
 """
 
-import random
 from collections import Counter
 
 from repro import LTC, MemoryBudget, kb

@@ -3,7 +3,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import LTC, LTCConfig, GroundTruth, MemoryBudget, kb
+from repro import LTC, GroundTruth, MemoryBudget, kb
 from repro.streams import network_like
 
 # 1. A workload: a network-trace-like stream of integer item ids divided

@@ -43,6 +43,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-k", type=int, default=100)
     parser.add_argument("--alpha", type=float, default=1.0)
     parser.add_argument("--beta", type=float, default=1.0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="ingest through the multi-core sharded pipeline with this many "
+        "worker processes (demo only; 1 = single-process)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,9 +89,49 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _demo_parallel(args: argparse.Namespace, stream, budget) -> int:
+    """Demo via the multi-core sharded pipeline (--workers > 1)."""
+    from repro.core.config import LTCConfig
+    from repro.distributed.parallel import ShardedPipeline
+
+    config = LTCConfig.from_memory(
+        budget,
+        items_per_period=stream.period_length,
+        alpha=args.alpha,
+        beta=args.beta,
+    )
+    pipeline = ShardedPipeline(
+        config, num_shards=args.workers, max_workers=args.workers
+    )
+    report = pipeline.run(stream, args.k)
+    truth = GroundTruth(stream)
+    rows = [
+        (
+            item,
+            f"{sig:g}",
+            f"{truth.significance(item, args.alpha, args.beta):g}",
+        )
+        for item, sig in report.top_k[:20]
+    ]
+    print(stream.stats)
+    print(
+        format_table(
+            ["item", "est. sig", "real sig"],
+            rows,
+            title=(
+                f"Sharded top items ({args.workers} workers, "
+                f"{report.communication_bytes}B summary traffic)"
+            ),
+        )
+    )
+    return 0
+
+
 def _demo(args: argparse.Namespace) -> int:
     stream = make_dataset(args.dataset)
     budget = MemoryBudget(kb(args.memory_kb))
+    if args.workers > 1:
+        return _demo_parallel(args, stream, budget)
     ltc = ltc_factory(budget, stream, args.alpha, args.beta)()
     stream.run(ltc)
     truth = GroundTruth(stream)

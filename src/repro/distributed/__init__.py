@@ -18,6 +18,13 @@ Two coordination strategies are provided:
   the bitmaps, so sampled items are *exact* even under arbitrary
   partitions — but unsampled items are invisible.
 
+``repro.distributed.parallel`` scales the merging strategy across CPU
+cores: :class:`~repro.distributed.parallel.ParallelMergingCoordinator`
+drives the sites in worker processes (bit-identical to the sequential
+coordinator, differentially tested), and
+:class:`~repro.distributed.parallel.ShardedPipeline` hash-shards one
+logical stream across N workers for single-stream multi-core ingestion.
+
 ``repro.distributed.partition`` splits a stream by item hash (each item's
 traffic enters at one site) or uniformly at random (ECMP-like spraying).
 """
@@ -29,12 +36,20 @@ from repro.distributed.coordinator import (
     MergingCoordinator,
     SamplingCoordinator,
 )
+from repro.distributed.parallel import (
+    ParallelMergingCoordinator,
+    ShardedPipeline,
+    WorkerCrashError,
+)
 
 __all__ = [
     "partition_sharded",
     "partition_random",
     "CoordinatedSampler",
     "MergingCoordinator",
+    "ParallelMergingCoordinator",
     "SamplingCoordinator",
+    "ShardedPipeline",
     "CoordinatorReport",
+    "WorkerCrashError",
 ]

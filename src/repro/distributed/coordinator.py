@@ -15,11 +15,20 @@ from repro.streams.model import PeriodicStream
 
 @dataclass(frozen=True)
 class CoordinatorReport:
-    """Outcome of one distributed run."""
+    """Outcome of one distributed run.
+
+    ``communication_bytes`` counts site→coordinator traffic (serialized
+    summaries or sample reports).  ``ingest_ipc_bytes`` counts
+    coordinator→worker traffic and is only non-zero for the process-based
+    engine (:mod:`repro.distributed.parallel`), where the parent ships
+    each shard's batches to its worker; in-process coordinators read
+    their streams directly and pay nothing.
+    """
 
     top_k: List[Tuple[int, float]]  # (item, estimated significance)
     communication_bytes: int
     num_sites: int
+    ingest_ipc_bytes: int = 0
 
     def items(self) -> "set[int]":
         """The reported item set."""

@@ -1,0 +1,294 @@
+"""Multi-core sharded ingestion (extension; scales the merging coordinator).
+
+:class:`~repro.distributed.coordinator.MergingCoordinator` drives every
+site sequentially in one process, so ingestion caps out at a single core
+no matter how many sites the partition has.  This module adds the
+process-parallel counterpart:
+
+* :class:`ParallelMergingCoordinator` — a drop-in alongside
+  ``MergingCoordinator`` with the same ``run(site_streams, k)`` API.  Each
+  site's whole-period batches are shipped to a worker process (driven
+  through :class:`concurrent.futures.ProcessPoolExecutor`); the worker
+  replays them through the ``insert_many`` harvest-boundary fast path and
+  returns its finished summary as a :func:`repro.core.serialize.to_bytes`
+  payload; the parent restores and merges with :func:`repro.core.merge.merge`.
+  Because a worker performs *exactly* the sequential per-site loop, the
+  parallel answer is differentially testable against the sequential
+  coordinator — item for item on item-sharded partitions
+  (``tests/test_parallel.py``).
+* :class:`ShardedPipeline` — hash-partitions one logical stream across N
+  shards (:func:`repro.distributed.partition.partition_sharded`) and runs
+  the parallel coordinator over them: single-stream multi-core ingestion.
+
+Robustness: a worker that dies mid-run poisons its whole pool
+(``BrokenProcessPool``), so each retry round gets a fresh executor and
+only the still-unfinished shards are resubmitted, up to ``max_retries``
+rounds; exhaustion raises :class:`WorkerCrashError` naming the shards.
+When ``max_workers=1``, or the platform cannot host a process pool at
+all, ingestion gracefully falls back to in-process execution of the same
+worker function — bit-identical results, no pool.
+
+Communication accounting covers both directions of the new path:
+``communication_bytes`` (summaries shipped back, as in the sequential
+coordinator) and ``ingest_ipc_bytes`` (pickled batches shipped out).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import LTCConfig
+from repro.core.ltc import LTC
+from repro.core.merge import merge
+from repro.core.serialize import from_bytes, to_bytes
+from repro.distributed.coordinator import CoordinatorReport
+from repro.distributed.partition import partition_sharded
+from repro.streams.model import PeriodicStream
+
+
+class WorkerCrashError(RuntimeError):
+    """Raised when shards still fail after every retry round.
+
+    Args:
+        shards: Indices of the shards whose workers kept dying.
+        max_retries: The retry budget that was exhausted.
+        last_error: The final exception observed (kept as ``__cause__``
+            context for debugging).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[int],
+        max_retries: int,
+        last_error: Optional[BaseException] = None,
+    ):
+        detail = f": {last_error}" if last_error is not None else ""
+        super().__init__(
+            f"shards {sorted(shards)} still failing after "
+            f"{max_retries} retries{detail}"
+        )
+        self.shards = sorted(shards)
+        self.max_retries = max_retries
+        self.last_error = last_error
+
+
+def process_pool_available() -> bool:
+    """Whether this platform can host a process pool at all."""
+    try:
+        import multiprocessing
+
+        return bool(multiprocessing.get_all_start_methods())
+    except (ImportError, NotImplementedError):  # pragma: no cover
+        return False
+
+
+def _pool_context():
+    """Prefer fork (cheap on Linux); fall back to the platform default."""
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None  # pragma: no cover - non-fork platforms
+
+
+def ingest_shard(
+    config: LTCConfig,
+    batches: Sequence[Sequence[int]],
+    crash_after: Optional[int] = None,
+) -> bytes:
+    """Worker body: replay one shard's period batches into a fresh LTC.
+
+    Performs exactly the sequential coordinator's per-site loop
+    (``PeriodicStream.run(ltc, batched=True)`` unrolled over the shipped
+    batches), so the returned :func:`to_bytes` payload is bit-identical
+    to the summary the sequential path would have built.
+
+    Args:
+        config: The per-site configuration (``items_per_period`` already
+            set to the shard's period length).
+        batches: One list of arrivals per period, in period order.
+        crash_after: Fault-injection hook for the retry tests — the
+            worker hard-exits (as if killed) after ingesting this many
+            periods.  ``None`` disables injection.
+    """
+    ltc = LTC(config)
+    insert_many = ltc.insert_many
+    end_period = ltc.end_period
+    for index, batch in enumerate(batches):
+        if crash_after is not None and index >= crash_after:
+            os._exit(13)  # simulate a hard worker death mid-run
+        insert_many(batch)
+        end_period()
+    ltc.finalize()
+    return to_bytes(ltc)
+
+
+class ParallelMergingCoordinator:
+    """Drive the merging coordinator's sites in parallel worker processes.
+
+    Drop-in alongside :class:`~repro.distributed.coordinator.MergingCoordinator`:
+    same constructor shape, same ``run(site_streams, k)`` signature, and —
+    by construction — the same report for the same inputs (workers run the
+    identical batched per-site loop; merging is unchanged).  The only
+    report difference is the extra ``ingest_ipc_bytes`` accounting field.
+
+    Args:
+        config: The LTC configuration every site instantiates
+            (``items_per_period`` is overridden per site, as in the
+            sequential coordinator).
+        max_workers: Process count; ``None`` means ``os.cpu_count()``.
+            ``1`` skips the pool entirely and ingests in-process.
+        max_retries: Retry rounds for crashed workers.  Each round
+            resubmits only the failed shards to a fresh pool; exhaustion
+            raises :class:`WorkerCrashError`.
+    """
+
+    def __init__(
+        self,
+        config: LTCConfig,
+        max_workers: Optional[int] = None,
+        max_retries: int = 2,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.config = config
+        self.max_workers = max_workers
+        self.max_retries = max_retries
+        # Fault-injection plan (testing hook): shard index -> number of
+        # attempts that crash after ingesting half the shard's periods.
+        self._crash_plan: Dict[int, int] = {}
+        self._ingest_ipc_bytes = 0
+
+    def run(
+        self, site_streams: Sequence[PeriodicStream], k: int
+    ) -> CoordinatorReport:
+        """Drive every site in parallel and produce the merged answer."""
+        if not site_streams:
+            raise ValueError("no site streams to run")
+        num_periods = max(s.num_periods for s in site_streams)
+        payloads = self._ingest(site_streams)
+        summaries = [from_bytes(payload) for payload in payloads]
+        communication = sum(len(payload) for payload in payloads)
+        merged = merge(summaries, num_periods=num_periods, check_period=False)
+        return CoordinatorReport(
+            top_k=[(r.item, r.significance) for r in merged.top_k(k)],
+            communication_bytes=communication,
+            num_sites=len(site_streams),
+            ingest_ipc_bytes=self._ingest_ipc_bytes,
+        )
+
+    # ------------------------------------------------------------ ingestion
+    def _jobs(
+        self, site_streams: Sequence[PeriodicStream]
+    ) -> List[Tuple[LTCConfig, List[List[int]]]]:
+        """Build each shard's picklable (config, period batches) payload."""
+        jobs = []
+        for stream in site_streams:
+            site_config = self.config.with_options(
+                items_per_period=stream.period_length
+            )
+            jobs.append((site_config, stream.period_batches()))
+        self._ingest_ipc_bytes = sum(
+            len(pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL))
+            for job in jobs
+        )
+        return jobs
+
+    def _ingest(self, site_streams: Sequence[PeriodicStream]) -> List[bytes]:
+        jobs = self._jobs(site_streams)
+        workers = self.max_workers or os.cpu_count() or 1
+        if workers == 1 or not process_pool_available():
+            # Graceful in-process fallback: same worker body, no pool.
+            # Fault injection is pool-only — it would kill the parent here.
+            return [ingest_shard(config, batches) for config, batches in jobs]
+        return self._run_pool(jobs, workers)
+
+    def _run_pool(
+        self, jobs: List[Tuple[LTCConfig, List[List[int]]]], workers: int
+    ) -> List[bytes]:
+        results: List[Optional[bytes]] = [None] * len(jobs)
+        outstanding = list(range(len(jobs)))
+        attempt = 0
+        last_error: Optional[BaseException] = None
+        while outstanding:
+            if attempt > self.max_retries:
+                raise WorkerCrashError(outstanding, self.max_retries, last_error)
+            # A dead worker breaks its whole pool, so every round gets a
+            # fresh executor and resubmits only the unfinished shards.
+            failed: List[int] = []
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(outstanding)),
+                mp_context=_pool_context(),
+            ) as pool:
+                futures = {
+                    index: pool.submit(
+                        ingest_shard,
+                        jobs[index][0],
+                        jobs[index][1],
+                        self._crash_schedule(index, attempt, len(jobs[index][1])),
+                    )
+                    for index in outstanding
+                }
+                for index, future in futures.items():
+                    try:
+                        results[index] = future.result()
+                    except Exception as exc:  # BrokenProcessPool et al.
+                        last_error = exc
+                        failed.append(index)
+            outstanding = failed
+            attempt += 1
+        return [payload for payload in results if payload is not None]
+
+    def _crash_schedule(
+        self, index: int, attempt: int, num_batches: int
+    ) -> Optional[int]:
+        """Resolve the fault-injection plan for one submission."""
+        if attempt < self._crash_plan.get(index, 0):
+            return num_batches // 2
+        return None
+
+
+class ShardedPipeline:
+    """Single-stream multi-core ingestion: hash-shard, ingest, merge.
+
+    Hash-partitions one logical stream into item-sharded per-worker
+    streams (all of an item's arrivals land on one shard, the regime
+    where merging is exact) and drives them through a
+    :class:`ParallelMergingCoordinator`.
+
+    Args:
+        config: The LTC configuration each shard instantiates
+            (``items_per_period`` is overridden per shard).
+        num_shards: Shard count; defaults to ``max_workers`` (or the CPU
+            count when that is also unset).
+        max_workers: Worker process count; ``None`` means ``os.cpu_count()``.
+        max_retries: Crash-retry budget, as in the coordinator.
+        seed: Item-shard hash seed (must be shared to reproduce a split).
+    """
+
+    def __init__(
+        self,
+        config: LTCConfig,
+        num_shards: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        max_retries: int = 2,
+        seed: int = 0xD15C,
+    ):
+        if num_shards is not None and num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        workers = max_workers or os.cpu_count() or 1
+        self.num_shards = num_shards if num_shards is not None else workers
+        self.seed = seed
+        self.coordinator = ParallelMergingCoordinator(
+            config, max_workers=max_workers, max_retries=max_retries
+        )
+
+    def run(self, stream: PeriodicStream, k: int) -> CoordinatorReport:
+        """Shard ``stream``, ingest every shard in parallel, and merge."""
+        shards = partition_sharded(stream, self.num_shards, seed=self.seed)
+        return self.coordinator.run(shards, k)

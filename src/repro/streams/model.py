@@ -88,6 +88,18 @@ class PeriodicStream:
             end = len(self.events) if p == self.num_periods - 1 else start + n
             yield self.events[start:end]
 
+    def period_batches(self) -> List[List[int]]:
+        """Materialise every period as its own list, in period order.
+
+        The picklable shard payload for process-based ingestion
+        (:mod:`repro.distributed.parallel`): replaying the batches through
+        ``insert_many`` + ``end_period`` + ``finalize`` is exactly
+        ``run(summary, batched=True)``.  Subclasses with explicit
+        boundaries (time-binned streams) inherit this via their
+        ``iter_periods`` override.
+        """
+        return [list(period) for period in self.iter_periods()]
+
     def run(self, summary, *, batched: bool = False) -> None:
         """Feed the entire stream through ``summary``.
 

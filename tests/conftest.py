@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
+
+# CI profiles.  The scheduled nightly job exports
+# ``HYPOTHESIS_PROFILE=nightly`` to run the property suites an order of
+# magnitude deeper than the per-PR default of 100 examples; tests that
+# pin ``max_examples`` inline keep their pins (they are sized for per-PR
+# latency, and inline settings override the profile by design).
+settings.register_profile("nightly", max_examples=1_000, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.streams.ground_truth import GroundTruth
 from repro.streams.model import PeriodicStream

@@ -22,7 +22,6 @@ from repro.sketches.count_min import CountMinSketch
 from repro.sketches.count_sketch import CountSketch
 from repro.sketches.cu import CUSketch
 from repro.streams.synthetic import zipf_stream
-from tests.conftest import make_stream
 
 # ----------------------------------------------------------------- clock
 

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.config import LTCConfig
 from repro.core.ltc import LTC
-from repro.streams.ground_truth import GroundTruth
 from tests.conftest import make_stream
 
 

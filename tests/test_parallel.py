@@ -1,0 +1,180 @@
+"""Multi-core sharded ingestion: differential + robustness suite.
+
+The parallel engine's contract is *bit-identity* with the sequential
+coordinator: a worker process replays exactly the per-site batched loop,
+so on the same partition the merged report must match item for item.
+The crash tests drive the retry machinery with the engine's
+fault-injection hook (a worker hard-exits mid-shard, as if OOM-killed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LTCConfig
+from repro.distributed.coordinator import MergingCoordinator
+from repro.distributed.parallel import (
+    ParallelMergingCoordinator,
+    ShardedPipeline,
+    WorkerCrashError,
+    ingest_shard,
+    process_pool_available,
+)
+from repro.distributed.partition import partition_sharded
+from repro.streams.io import TimeBinnedStream
+from repro.streams.synthetic import zipf_stream
+from tests.conftest import make_stream
+
+SHARD_SEED = 0xD15C
+
+
+@pytest.fixture(scope="module")
+def logical_stream():
+    return zipf_stream(
+        num_events=8_000, num_distinct=1_500, skew=1.1, num_periods=8, seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return LTCConfig(
+        num_buckets=64,
+        bucket_width=8,
+        alpha=1.0,
+        beta=1.0,
+        items_per_period=1,  # overridden per site
+    )
+
+
+@pytest.fixture(scope="module")
+def sites(logical_stream):
+    return partition_sharded(logical_stream, 4, seed=SHARD_SEED)
+
+
+@pytest.fixture(scope="module")
+def sequential_report(config, sites):
+    return MergingCoordinator(config).run(sites, 50)
+
+
+def assert_reports_equal(parallel, sequential):
+    """Field-by-field identity, ignoring the parallel-only IPC counter."""
+    assert parallel.top_k == sequential.top_k
+    assert parallel.communication_bytes == sequential.communication_bytes
+    assert parallel.num_sites == sequential.num_sites
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_matches_sequential_on_item_shards(
+        self, config, sites, sequential_report, workers
+    ):
+        report = ParallelMergingCoordinator(config, max_workers=workers).run(
+            sites, 50
+        )
+        assert_reports_equal(report, sequential_report)
+
+    def test_single_worker_fallback_matches(
+        self, config, sites, sequential_report
+    ):
+        """max_workers=1 skips the pool entirely yet answers identically."""
+        report = ParallelMergingCoordinator(config, max_workers=1).run(sites, 50)
+        assert_reports_equal(report, sequential_report)
+
+    def test_pipeline_matches_sequential_on_same_split(
+        self, config, logical_stream, sequential_report
+    ):
+        pipeline = ShardedPipeline(
+            config, num_shards=4, max_workers=2, seed=SHARD_SEED
+        )
+        report = pipeline.run(logical_stream, 50)
+        assert_reports_equal(report, sequential_report)
+
+    def test_worker_body_equals_batched_site_run(self, config, sites):
+        """ingest_shard is literally run(ltc, batched=True) + to_bytes."""
+        from repro.core.ltc import LTC
+        from repro.core.serialize import to_bytes
+
+        site = sites[0]
+        site_config = config.with_options(items_per_period=site.period_length)
+        reference = LTC(site_config)
+        site.run(reference, batched=True)
+        assert ingest_shard(site_config, site.period_batches()) == to_bytes(
+            reference
+        )
+
+    def test_ipc_accounting_only_on_parallel_path(
+        self, config, sites, sequential_report
+    ):
+        report = ParallelMergingCoordinator(config, max_workers=2).run(sites, 50)
+        assert report.ingest_ipc_bytes > 0
+        assert sequential_report.ingest_ipc_bytes == 0
+
+
+class TestCrashRecovery:
+    @pytest.mark.skipif(
+        not process_pool_available(), reason="platform lacks process pools"
+    )
+    def test_retry_recovers_from_mid_run_crash(
+        self, config, sites, sequential_report
+    ):
+        """A worker dying mid-shard is retried and the answer is unchanged."""
+        coordinator = ParallelMergingCoordinator(
+            config, max_workers=2, max_retries=2
+        )
+        coordinator._crash_plan = {1: 1}  # shard 1 dies once, mid-run
+        report = coordinator.run(sites, 50)
+        assert_reports_equal(report, sequential_report)
+
+    @pytest.mark.skipif(
+        not process_pool_available(), reason="platform lacks process pools"
+    )
+    def test_persistent_crash_surfaces_clear_error(self, config, sites):
+        coordinator = ParallelMergingCoordinator(
+            config, max_workers=2, max_retries=1
+        )
+        coordinator._crash_plan = {0: 99}  # shard 0 dies on every attempt
+        with pytest.raises(WorkerCrashError) as excinfo:
+            coordinator.run(sites, 50)
+        error = excinfo.value
+        # The sick shard is named (pool breakage may add collateral shards
+        # that were in flight when the final crash poisoned the pool).
+        assert 0 in error.shards
+        assert error.max_retries == 1
+        assert "retries" in str(error)
+
+
+class TestValidation:
+    def test_rejects_bad_worker_count(self, config):
+        with pytest.raises(ValueError):
+            ParallelMergingCoordinator(config, max_workers=0)
+
+    def test_rejects_negative_retries(self, config):
+        with pytest.raises(ValueError):
+            ParallelMergingCoordinator(config, max_retries=-1)
+
+    def test_rejects_empty_site_list(self, config):
+        with pytest.raises(ValueError):
+            ParallelMergingCoordinator(config, max_workers=1).run([], 10)
+
+    def test_rejects_bad_shard_count(self, config):
+        with pytest.raises(ValueError):
+            ShardedPipeline(config, num_shards=0)
+
+
+class TestShardSlicing:
+    def test_period_batches_matches_iter_periods(self, logical_stream):
+        batches = logical_stream.period_batches()
+        assert batches == [list(p) for p in logical_stream.iter_periods()]
+        assert sum(len(b) for b in batches) == len(logical_stream)
+
+    def test_period_batches_on_count_based_remainder(self):
+        stream = make_stream([1, 2, 3, 4, 5, 6, 7], num_periods=3)
+        batches = stream.period_batches()
+        assert len(batches) == 3
+        assert batches[-1] == [5, 6, 7]  # last period absorbs the remainder
+
+    def test_period_batches_on_time_binned_stream(self):
+        stream = TimeBinnedStream(
+            events=[10, 11, 12, 13], boundaries=[1, 1, 3], name="tb"
+        )
+        assert stream.period_batches() == [[10], [], [11, 12], [13]]

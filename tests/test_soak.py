@@ -9,6 +9,7 @@ to shake out state-machine bugs that scripted tests never reach.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -61,12 +62,16 @@ def build_all():
     }
 
 
+# The scheduled nightly CI job soaks 10x longer (REPRO_SOAK_STEPS=60000).
+SOAK_STEPS = int(os.environ.get("REPRO_SOAK_STEPS", "6000"))
+
+
 @pytest.mark.parametrize("name", sorted(build_all()))
 def test_soak(name):
     rng = random.Random(hash(name) & 0xFFFF)
     summary = build_all()[name]
     supports_finalize = hasattr(summary, "finalize")
-    for step in range(6_000):
+    for step in range(SOAK_STEPS):
         roll = rng.random()
         if roll < 0.80:
             summary.insert(rng.randrange(300))

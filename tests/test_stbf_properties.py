@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codes.raptor import RaptorCode
-from repro.membership.stbf import CellState, SpaceTimeBloomFilter
+from repro.membership.stbf import SpaceTimeBloomFilter
 from repro.persistent.pie import PIE
 from repro.streams.ground_truth import GroundTruth
 from tests.conftest import make_stream
