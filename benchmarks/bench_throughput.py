@@ -362,6 +362,149 @@ def test_throughput_parallel(benchmark):
     )
 
 
+def test_throughput_obs(benchmark):
+    """Observability overhead: the ingest hot paths with metrics on/off.
+
+    The same Zipf workload as the batched bench is driven through the
+    reference per-event path (``LTC.insert``) and the indexed batched
+    path (``FastLTC.insert_many``), once with observability disabled
+    (the default null-registry state) and once with a live registry
+    installed.  The ``obs`` section of ``BENCH_throughput.json`` records
+    both numbers and their ratio per engine, and the instrumented run's
+    registry snapshot is written to ``BENCH_obs_metrics.json`` (uploaded
+    as a CI artifact).
+
+    Gates:
+
+    * **enabled overhead** — disabled/enabled Mops ratio must stay under
+      the ceiling (default 1.15x; ``REPRO_OBS_OVERHEAD_CEILING``
+      overrides for noisy runners);
+    * **disabled overhead** — informational by default: the bench records
+      how the metrics-off numbers compare to the ``batched`` section's
+      previously recorded Mops (the pre-instrumentation trajectory).
+      Setting ``REPRO_OBS_CHECK_BASELINE=1`` turns that into a hard
+      ≤ 1.05x assertion — only meaningful on the machine that produced
+      the recorded numbers, so CI leaves it off.
+    """
+    from repro import obs
+    from repro.core.config import LTCConfig
+    from repro.core.fast_ltc import FastLTC
+    from repro.core.ltc import LTC
+    from repro.streams.synthetic import zipf_stream
+
+    stream = zipf_stream(
+        num_events=100_000, num_distinct=1_000, skew=1.0, num_periods=5, seed=42
+    )
+    config = LTCConfig(
+        num_buckets=128,
+        bucket_width=8,
+        alpha=1.0,
+        beta=1.0,
+        items_per_period=stream.period_length,
+    )
+    cases = [
+        ("LTC", lambda: LTC(config), False),
+        ("FastLTC", lambda: FastLTC(config), True),
+    ]
+    snapshot_path = BENCH_JSON.parent / "BENCH_obs_metrics.json"
+
+    def run():
+        results = {}
+        obs.disable()
+        try:
+            for name, factory, batched in cases:
+                off = measure_throughput(
+                    factory, stream, name=f"{name}-off", repeats=3, batched=batched
+                )
+                obs.enable()
+                on = measure_throughput(
+                    factory, stream, name=f"{name}-on", repeats=3, batched=batched
+                )
+                snapshot = obs.registry().snapshot()
+                obs.disable()
+                results[name] = (off, on, snapshot)
+        finally:
+            obs.disable()
+        return results
+
+    results = once(benchmark, run)
+    overheads = {
+        name: off.mops / on.mops for name, (off, on, _) in results.items()
+    }
+    # How the metrics-off numbers compare to the recorded pre-run state
+    # of the batched section (same stream, same engines).
+    recorded = {}
+    if BENCH_JSON.exists():
+        try:
+            sections = json.loads(BENCH_JSON.read_text()).get("sections", {})
+            for entry in sections.get("batched", {}).get("results", []):
+                recorded[(entry["name"], entry["mode"])] = entry["mops"]
+        except ValueError:
+            pass
+    baseline_keys = {"LTC": ("LTC", "per-event"), "FastLTC": ("FastLTC", "batched")}
+    disabled_vs_recorded = {
+        name: recorded[key] / results[name][0].mops
+        for name, key in baseline_keys.items()
+        if key in recorded
+    }
+    emit(
+        "throughput",
+        ["engine", "metrics off Mops", "metrics on Mops", "overhead"],
+        [
+            (name, f"{off.mops:.3f}", f"{on.mops:.3f}", f"{overheads[name]:.3f}x")
+            for name, (off, on, _) in results.items()
+        ],
+        title="Observability overhead (zipf-1.0, metrics on vs off)",
+    )
+    ceiling = float(os.environ.get("REPRO_OBS_OVERHEAD_CEILING", "1.15"))
+    update_bench_json(
+        "obs",
+        {
+            "benchmark": "benchmarks/bench_throughput.py::test_throughput_obs",
+            "stream": {
+                "kind": "zipf",
+                "skew": 1.0,
+                "num_events": len(stream),
+                "num_distinct": 1_000,
+                "num_periods": stream.num_periods,
+                "seed": 42,
+            },
+            "overhead_ceiling": ceiling,
+            "results": [
+                result.to_dict()
+                for off, on, _ in results.values()
+                for result in (off, on)
+            ],
+            "overheads": overheads,
+            "disabled_vs_recorded": disabled_vs_recorded,
+            "snapshot": str(snapshot_path.name),
+        },
+    )
+    # Persist the instrumented run's registry for the CI artifact and
+    # for `repro-ltc stats BENCH_obs_metrics.json`.
+    from repro.obs.export import write_json_snapshot
+
+    write_json_snapshot(results["FastLTC"][2], snapshot_path)
+    # Counters must reflect the instrumented passes (3 repeats x 100k).
+    inserts = next(
+        m["value"]
+        for m in results["FastLTC"][2]["metrics"]
+        if m["name"] == "ltc_inserts_total"
+    )
+    assert inserts == 3 * len(stream)
+    for name, overhead in overheads.items():
+        assert overhead <= ceiling, (
+            f"{name}: metrics-on overhead {overhead:.3f}x exceeds the "
+            f"{ceiling:.2f}x ceiling"
+        )
+    if os.environ.get("REPRO_OBS_CHECK_BASELINE") == "1":
+        for name, ratio in disabled_vs_recorded.items():
+            assert ratio <= 1.05, (
+                f"{name}: metrics-off throughput is {ratio:.3f}x slower than "
+                "the recorded pre-instrumentation numbers (> 1.05x)"
+            )
+
+
 def test_query_throughput(benchmark, bench_caida):
     """Point-query latency of populated summaries (items present+absent)."""
     stream, truth = bench_caida

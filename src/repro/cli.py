@@ -10,7 +10,13 @@ Subcommands:
   trace file via ``--trace``);
 * ``figure``         — regenerate a paper figure by id (runs its benchmark);
 * ``plan``           — recommend LTC memory for a target correct rate by
-  inverting the §IV bound.
+  inverting the §IV bound;
+* ``stats``          — pretty-print a metrics snapshot written by
+  ``--metrics-out`` (table, Prometheus exposition, or raw JSON).
+
+Every run subcommand accepts ``--metrics-out PATH``: observability is
+enabled for the run (:mod:`repro.obs`) and the registry snapshot is
+written to ``PATH`` as JSON on the way out.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.experiments.configs import (
     default_algorithms_frequent,
     default_algorithms_persistent,
@@ -49,6 +56,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="ingest through the multi-core sharded pipeline with this many "
         "worker processes (demo only; 1 = single-process)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="enable observability (repro.obs) for this run and write the "
+        "metrics snapshot to PATH as JSON (inspect it with `repro-ltc stats`)",
     )
 
 
@@ -86,6 +100,19 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("-k", type=int, default=100)
     plan.add_argument("--target-rate", type=float, default=0.9)
     plan.add_argument("-d", "--bucket-width", type=int, default=8)
+    stats = sub.add_parser("stats")
+    stats.add_argument(
+        "snapshot",
+        help="metrics snapshot JSON written by --metrics-out (or the obs "
+        "bench's BENCH_obs_metrics.json)",
+    )
+    stats.add_argument(
+        "--format",
+        choices=["table", "prometheus", "json"],
+        default="table",
+        help="rendering: human table (default), Prometheus text "
+        "exposition, or the raw JSON back out",
+    )
     return parser
 
 
@@ -266,6 +293,35 @@ def _plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot written by ``--metrics-out``."""
+    import json
+
+    try:
+        snapshot = obs.export.load_json_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read snapshot: {exc}")
+        return 1
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2))
+    elif args.format == "prometheus":
+        print(obs.export.prometheus_text(snapshot), end="")
+    else:
+        rows = obs.export.snapshot_rows(snapshot)
+        generated = snapshot.get("generated_at", "unknown time")
+        if not rows:
+            print(f"empty snapshot ({generated})")
+            return 0
+        print(
+            format_table(
+                ["metric", "type", "value"],
+                rows,
+                title=f"metrics snapshot ({generated})",
+            )
+        )
+    return 0
+
+
 _COMMANDS = {
     "demo": _demo,
     "compare": _compare,
@@ -273,13 +329,22 @@ _COMMANDS = {
     "check-longtail": _check_longtail,
     "figure": _figure,
     "plan": _plan,
+    "stats": _stats,
 }
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        obs.enable()
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if metrics_out:
+            obs.export.write_json_snapshot(obs.registry(), metrics_out)
+            obs.disable()
 
 
 if __name__ == "__main__":

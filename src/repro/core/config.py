@@ -59,6 +59,14 @@ class LTCConfig:
             raise ValueError(
                 "replacement_policy must be 'longtail', 'one' or 'space-saving'"
             )
+        # Normalize the seed to its 64-bit image at construction time.
+        # Hashing already reduces modulo 2**64 (splitmix64 masks its
+        # input), but the binary checkpoint header stores the masked
+        # value — without this, a config built with a negative or
+        # >64-bit seed would compare unequal to its own restored
+        # checkpoint and `repro.core.merge._check_compatible` would
+        # refuse the restore-then-merge flow.
+        object.__setattr__(self, "seed", self.seed & 0xFFFFFFFFFFFFFFFF)
 
     @property
     def effective_replacement_policy(self) -> str:

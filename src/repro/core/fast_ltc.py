@@ -63,6 +63,8 @@ class FastLTC(LTC):
         n = clock.items_per_period
         m = clock.num_cells
         acc = clock._acc
+        if self._obs is not None:
+            self._m_inserts.inc(total)
         get = self._slot_of.get
         freqs = self._freqs
         flags = self._flags
@@ -115,6 +117,7 @@ class FastLTC(LTC):
         alpha, beta = self._alpha, self._beta
         freqs = self._freqs
         counters = self._counters
+        metered = self._obs is not None
         jmin = base
         smin = alpha * freqs[base] + beta * counters[base]
         for j in range(base + 1, base + d):
@@ -122,6 +125,8 @@ class FastLTC(LTC):
             if s < smin:
                 smin, jmin = s, j
         if self._policy == "space-saving":
+            if metered:
+                self._m_evictions.inc()
             old = self._keys[jmin]
             if old is not None:
                 del self._slot_of[old]
@@ -130,6 +135,8 @@ class FastLTC(LTC):
             self._flags[jmin] = self._set_bit
             self._slot_of[item] = jmin
             return
+        if metered:
+            self._m_decrements.inc()
         if counters[jmin] > 0:
             counters[jmin] -= 1
         if freqs[jmin] > 0:
@@ -138,8 +145,12 @@ class FastLTC(LTC):
             return
         if self._ltr and d > 1:
             f0, c0 = self._longtail_initial(base, jmin)
+            if metered:
+                self._m_longtail.inc()
         else:
             f0, c0 = 1, 0
+        if metered:
+            self._m_evictions.inc()
         old = self._keys[jmin]
         if old is not None:
             del self._slot_of[old]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.core.cell import CellView
 from repro.core.clock import ClockPointer
 from repro.core.config import LTCConfig
@@ -64,6 +65,30 @@ class LTC(StreamSummary):
         self._set_bit = 1
         self._harvest_bit = 2 if self._de else 1
         self._last_timestamp: Optional[float] = None
+        # Observability: capture the live registry once at construction
+        # (None when disabled, so every hot-path guard is one `is None`).
+        self._obs = obs.registry() if obs.is_enabled() else None
+        if self._obs is not None:
+            reg = self._obs
+            self._m_inserts = reg.counter(
+                "ltc_inserts_total", "Arrivals processed by the lossy table"
+            )
+            self._m_decrements = reg.counter(
+                "ltc_significance_decrements_total",
+                "Full-bucket misses resolved by Significance Decrementing",
+            )
+            self._m_evictions = reg.counter(
+                "ltc_evictions_total",
+                "Incumbent items expelled from a full bucket",
+            )
+            self._m_longtail = reg.counter(
+                "ltc_longtail_replacements_total",
+                "Evictions seeded by Long-tail Replacement (Opt. II)",
+            )
+            self._m_harvests = reg.counter(
+                "ltc_harvests_total",
+                "CLOCK flag harvests folded into persistency counters",
+            )
 
     @classmethod
     def from_memory(
@@ -90,6 +115,8 @@ class LTC(StreamSummary):
     # ------------------------------------------------------------- insertion
     def insert(self, item: int) -> None:
         """Process one arrival (count-based CLOCK advancement)."""
+        if self._obs is not None:
+            self._m_inserts.inc()
         self._place(item)
         for slot in self._clock.on_arrival():
             self._harvest(slot)
@@ -116,6 +143,9 @@ class LTC(StreamSummary):
         n = clock.items_per_period
         m = clock.num_cells
         acc = clock._acc
+        obs_inserts = self._m_inserts if self._obs is not None else None
+        if obs_inserts is not None:
+            obs_inserts.inc(total)
         i = 0
         while i < total:
             # Inlined clock arithmetic (arrivals_until_harvest/on_arrivals):
@@ -145,6 +175,8 @@ class LTC(StreamSummary):
             raise ValueError("period_seconds must be positive")
         if self._last_timestamp is not None and timestamp < self._last_timestamp:
             raise ValueError("timestamps must be non-decreasing")
+        if self._obs is not None:
+            self._m_inserts.inc()
         self._place(item)
         if self._last_timestamp is not None:
             delta = timestamp - self._last_timestamp
@@ -181,6 +213,7 @@ class LTC(StreamSummary):
         alpha, beta = self._alpha, self._beta
         freqs = self._freqs
         counters = self._counters
+        metered = self._obs is not None
         jmin = base
         smin = alpha * freqs[base] + beta * counters[base]
         for j in range(base + 1, base + d):
@@ -190,10 +223,14 @@ class LTC(StreamSummary):
         if self._policy == "space-saving":
             # Ablation baseline: replace the minimum outright, inheriting
             # its value + 1 — the overestimating strategy of §I-C.
+            if metered:
+                self._m_evictions.inc()
             self._keys[jmin] = item
             freqs[jmin] += 1
             self._flags[jmin] = self._set_bit
             return
+        if metered:
+            self._m_decrements.inc()
         if counters[jmin] > 0:  # Persistency never goes negative (§III-B).
             counters[jmin] -= 1
         if freqs[jmin] > 0:
@@ -203,8 +240,12 @@ class LTC(StreamSummary):
         # Expel and insert the newcomer.
         if self._ltr and d > 1:
             f0, c0 = self._longtail_initial(base, jmin)
+            if metered:
+                self._m_longtail.inc()
         else:
             f0, c0 = 1, 0
+        if metered:
+            self._m_evictions.inc()
         self._keys[jmin] = item
         freqs[jmin] = f0
         counters[jmin] = c0
@@ -238,6 +279,8 @@ class LTC(StreamSummary):
             flags[slot] &= ~self._harvest_bit & 0xFF
             if self._keys[slot] is not None:
                 self._counters[slot] += 1
+                if self._obs is not None:
+                    self._m_harvests.inc()
 
     def end_period(self) -> None:
         """Complete the sweep and roll the period parity.

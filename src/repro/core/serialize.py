@@ -145,6 +145,8 @@ def to_bytes(ltc: LTC) -> bytes:
         ltc._clock.hand,
         ltc._clock.scanned_in_period,
         ltc._clock._acc,
+        # Already 64-bit (LTCConfig normalizes at construction); the mask
+        # stays as a guard for configs built before that invariant.
         cfg.seed & 0xFFFFFFFFFFFFFFFF,
         ltc._clock._facc,
         int(ts is not None),

@@ -130,15 +130,25 @@ class WindowedLTC(StreamSummary):
             self._rings[jmin] = 1
 
     def end_period(self) -> None:
-        """Shift the window: age rings, decay frequencies, drop dead cells."""
+        """Shift the window: age rings, decay frequencies, drop dead cells.
+
+        The dead-cell sweep is frequency-driven, so it only applies when
+        frequency carries weight (``alpha > 0``).  In persistency-only
+        mode (``alpha == 0``) a cell whose ring just aged to zero is kept:
+        its significance is already 0, so it is the first victim of any
+        bucket-full replacement, but evicting it eagerly would discard
+        the decayed frequency history of an item that may still be a
+        within-window candidate the moment it reappears.
+        """
         mask = self._ring_mask
         decay = self.decay
+        sweep_dead = self.alpha > 0
         for j in range(len(self._keys)):
             if self._keys[j] is None:
                 continue
             self._rings[j] = (self._rings[j] << 1) & mask
             self._freqs[j] *= decay
-            if self._rings[j] == 0 and self._freqs[j] < 0.5:
+            if sweep_dead and self._rings[j] == 0 and self._freqs[j] < 0.5:
                 self._keys[j] = None
                 self._freqs[j] = 0.0
 

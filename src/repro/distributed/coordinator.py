@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro import obs
 from repro.core.config import LTCConfig
 from repro.core.ltc import LTC
 from repro.core.merge import merge
@@ -35,6 +37,30 @@ class CoordinatorReport:
         return {item for item, _ in self.top_k}
 
 
+def _coordinator_timers():
+    """The merge-engine timing histograms, or ``(None, None)`` when off.
+
+    Shared by the sequential and process-parallel coordinators so one
+    deployment's dashboards read the same series whichever engine runs:
+    ``coordinator_site_merge_seconds`` (one observation per site: drive +
+    serialize, or restore on the parallel path) and
+    ``coordinator_merge_seconds`` (one observation per table merge).
+    """
+    if not obs.is_enabled():
+        return None, None
+    reg = obs.registry()
+    return (
+        reg.histogram(
+            "coordinator_site_merge_seconds",
+            "Per-site summary build time feeding one merge (seconds)",
+        ),
+        reg.histogram(
+            "coordinator_merge_seconds",
+            "Time merging all site summaries into the global table (seconds)",
+        ),
+    )
+
+
 class MergingCoordinator:
     """Each site runs an identical LTC; the coordinator merges the tables.
 
@@ -60,19 +86,26 @@ class MergingCoordinator:
     ) -> CoordinatorReport:
         """Drive every site and produce the merged global answer."""
         num_periods = max(s.num_periods for s in site_streams)
+        site_timer, merge_timer = _coordinator_timers()
         summaries: List[LTC] = []
         communication = 0
         for stream in site_streams:
             site_config = self.config.with_options(
                 items_per_period=stream.period_length
             )
+            started = time.perf_counter()
             ltc = LTC(site_config)
             stream.run(ltc, batched=self.batched)
             communication += len(to_bytes(ltc))
+            if site_timer is not None:
+                site_timer.observe(time.perf_counter() - started)
             summaries.append(ltc)
         # Sites share the logical period structure but see different
         # arrival counts, so their CLOCK rates legitimately differ.
+        started = time.perf_counter()
         merged = merge(summaries, num_periods=num_periods, check_period=False)
+        if merge_timer is not None:
+            merge_timer.observe(time.perf_counter() - started)
         return CoordinatorReport(
             top_k=[(r.item, r.significance) for r in merged.top_k(k)],
             communication_bytes=communication,

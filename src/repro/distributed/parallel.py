@@ -37,14 +37,16 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.config import LTCConfig
 from repro.core.ltc import LTC
 from repro.core.merge import merge
 from repro.core.serialize import from_bytes, to_bytes
-from repro.distributed.coordinator import CoordinatorReport
+from repro.distributed.coordinator import CoordinatorReport, _coordinator_timers
 from repro.distributed.partition import partition_sharded
 from repro.streams.model import PeriodicStream
 
@@ -171,10 +173,22 @@ class ParallelMergingCoordinator:
         if not site_streams:
             raise ValueError("no site streams to run")
         num_periods = max(s.num_periods for s in site_streams)
+        site_timer, merge_timer = _coordinator_timers()
         payloads = self._ingest(site_streams)
-        summaries = [from_bytes(payload) for payload in payloads]
+        summaries = []
+        for payload in payloads:
+            started = time.perf_counter()
+            summaries.append(from_bytes(payload))
+            if site_timer is not None:
+                # Parallel sites build concurrently in workers; the
+                # parent-side cost per site is the restore, so that is
+                # what this engine contributes to the shared series.
+                site_timer.observe(time.perf_counter() - started)
         communication = sum(len(payload) for payload in payloads)
+        started = time.perf_counter()
         merged = merge(summaries, num_periods=num_periods, check_period=False)
+        if merge_timer is not None:
+            merge_timer.observe(time.perf_counter() - started)
         return CoordinatorReport(
             top_k=[(r.item, r.significance) for r in merged.top_k(k)],
             communication_bytes=communication,
@@ -197,6 +211,12 @@ class ParallelMergingCoordinator:
             len(pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL))
             for job in jobs
         )
+        if obs.is_enabled():
+            obs.registry().gauge(
+                "ingest_ipc_bytes",
+                "Pickled batch bytes shipped coordinator -> workers "
+                "in the most recent run",
+            ).set(self._ingest_ipc_bytes)
         return jobs
 
     def _ingest(self, site_streams: Sequence[PeriodicStream]) -> List[bytes]:
@@ -211,6 +231,17 @@ class ParallelMergingCoordinator:
     def _run_pool(
         self, jobs: List[Tuple[LTCConfig, List[List[int]]]], workers: int
     ) -> List[bytes]:
+        crash_counter = retry_counter = None
+        if obs.is_enabled():
+            reg = obs.registry()
+            crash_counter = reg.counter(
+                "coordinator_worker_crashes_total",
+                "Shard ingestion attempts lost to a dead worker process",
+            )
+            retry_counter = reg.counter(
+                "coordinator_worker_retries_total",
+                "Shard ingestion attempts resubmitted after a crash",
+            )
         results: List[Optional[bytes]] = [None] * len(jobs)
         outstanding = list(range(len(jobs)))
         attempt = 0
@@ -218,6 +249,8 @@ class ParallelMergingCoordinator:
         while outstanding:
             if attempt > self.max_retries:
                 raise WorkerCrashError(outstanding, self.max_retries, last_error)
+            if retry_counter is not None and attempt > 0:
+                retry_counter.inc(len(outstanding))
             # A dead worker breaks its whole pool, so every round gets a
             # fresh executor and resubmits only the unfinished shards.
             failed: List[int] = []
@@ -240,6 +273,8 @@ class ParallelMergingCoordinator:
                     except Exception as exc:  # BrokenProcessPool et al.
                         last_error = exc
                         failed.append(index)
+                        if crash_counter is not None:
+                            crash_counter.inc()
             outstanding = failed
             attempt += 1
         return [payload for payload in results if payload is not None]

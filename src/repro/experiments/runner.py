@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from repro import obs
 from repro.metrics.accuracy import (
     average_absolute_error,
     average_relative_error,
@@ -62,6 +63,70 @@ def evaluate(
     )
 
 
+def _run_metered(
+    summary,
+    stream: PeriodicStream,
+    truth: GroundTruth,
+    k: int,
+    alpha: float,
+    beta: float,
+    name: str,
+) -> None:
+    """Drive ``summary`` period by period, recording recall/ARE series.
+
+    Arrival for arrival this is exactly ``stream.run(summary)`` (insert
+    per event, ``end_period`` at each boundary, ``finalize`` at the end),
+    so the final report is identical to the unmetered path — the extra
+    work is only the per-boundary top-k probe.  After every boundary the
+    current report is scored against the *final* oracle: recall
+    (|reported ∩ exact|/k, the paper's precision) lands in the
+    ``runner_period_recall`` histogram and the running ARE in
+    ``runner_period_are``, both labelled with the summary's name, giving
+    exporters the convergence series FDCMSS/BPTree-style evaluations
+    plot.
+    """
+    reg = obs.registry()
+    labels = {"summary": name}
+    recall_series = reg.histogram(
+        "runner_period_recall",
+        "Recall of the final top-k oracle achieved at each period boundary",
+        buckets=obs.DEFAULT_RATIO_BUCKETS,
+        labels=labels,
+    )
+    are_series = reg.histogram(
+        "runner_period_are",
+        "Average relative error of the report at each period boundary",
+        buckets=obs.DEFAULT_RATIO_BUCKETS,
+        labels=labels,
+    )
+    recall_gauge = reg.gauge(
+        "runner_last_recall", "Recall at the most recent boundary", labels=labels
+    )
+    are_gauge = reg.gauge(
+        "runner_last_are", "ARE at the most recent boundary", labels=labels
+    )
+    exact = truth.top_k_items(k, alpha, beta)
+    end_period = getattr(summary, "end_period", None)
+    insert = summary.insert
+    for period in stream.iter_periods():
+        for item in period:
+            insert(item)
+        if end_period is not None:
+            end_period()
+        reported = summary.reported_pairs(k)
+        recall = precision((item for item, _ in reported), exact)
+        are = average_relative_error(
+            reported, lambda item: truth.significance(item, alpha, beta)
+        )
+        recall_series.observe(recall)
+        are_series.observe(are)
+        recall_gauge.set(recall)
+        are_gauge.set(are)
+    finalize = getattr(summary, "finalize", None)
+    if finalize is not None:
+        finalize()
+
+
 def run_and_evaluate(
     factories: Dict[str, Callable[[], object]],
     stream: PeriodicStream,
@@ -71,6 +136,11 @@ def run_and_evaluate(
     truth: GroundTruth | None = None,
 ) -> "list[EvalResult]":
     """Build, run and score every summary in ``factories``.
+
+    With observability on (:func:`repro.obs.enable`), each summary is
+    additionally scored at every period boundary and the per-period
+    recall/ARE series land in the active registry (see
+    :func:`_run_metered`); the returned results are identical either way.
 
     Args:
         factories: ``name -> zero-arg factory`` map; each factory builds a
@@ -86,6 +156,9 @@ def run_and_evaluate(
     results = []
     for name, factory in factories.items():
         summary = factory()
-        stream.run(summary)
+        if obs.is_enabled():
+            _run_metered(summary, stream, truth, k, alpha, beta, name)
+        else:
+            stream.run(summary)
         results.append(evaluate(summary, truth, k, alpha, beta, name=name))
     return results

@@ -1,0 +1,127 @@
+"""Exporters: Prometheus text exposition and JSON snapshot files.
+
+Both exporters consume the JSON-safe snapshot dict produced by
+:meth:`repro.obs.registry.MetricsRegistry.snapshot`, so a snapshot
+written to disk hours ago renders exactly like a live registry — the
+``repro-ltc stats`` subcommand relies on this.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import List, Tuple, Union
+
+from repro.obs.registry import MetricsRegistry, NullRegistry
+
+Snapshot = dict
+_RegistryOrSnapshot = Union[MetricsRegistry, NullRegistry, Snapshot]
+
+
+def _as_snapshot(source: _RegistryOrSnapshot) -> Snapshot:
+    if isinstance(source, dict):
+        return source
+    return source.snapshot()
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: dict, extra: "Tuple[Tuple[str, str], ...]" = ()) -> str:
+    pairs = [
+        (str(k), _escape_label_value(v)) for k, v in sorted(labels.items())
+    ] + list(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(source: _RegistryOrSnapshot) -> str:
+    """Render a registry or snapshot in the Prometheus text format.
+
+    Metrics sharing a name (label variants) are grouped under one
+    ``# HELP`` / ``# TYPE`` header; histogram buckets are cumulative and
+    terminated by the ``+Inf`` bucket, per the exposition-format spec.
+    """
+    lines: List[str] = []
+    seen_headers = set()
+    for metric in _as_snapshot(source)["metrics"]:
+        name = metric["name"]
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if metric.get("help"):
+                lines.append(f"# HELP {name} {metric['help']}")
+            lines.append(f"# TYPE {name} {metric['type']}")
+        labels = metric.get("labels", {})
+        if metric["type"] == "histogram":
+            for bucket in metric["buckets"]:
+                le = bucket["le"]
+                le_str = le if le == "+Inf" else _format_value(float(le))
+                lines.append(
+                    f"{name}_bucket{_label_str(labels, (('le', le_str),))} "
+                    f"{bucket['count']}"
+                )
+            lines.append(
+                f"{name}_sum{_label_str(labels)} "
+                f"{_format_value(metric['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_label_str(labels)} {metric['count']}"
+            )
+        else:
+            lines.append(
+                f"{name}{_label_str(labels)} {_format_value(metric['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_json_snapshot(source: _RegistryOrSnapshot, path) -> Snapshot:
+    """Write a timestamped JSON snapshot to ``path`` and return it."""
+    snapshot = dict(_as_snapshot(source))
+    snapshot.setdefault(
+        "generated_at", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    return snapshot
+
+
+def load_json_snapshot(path) -> Snapshot:
+    """Read a snapshot previously written by :func:`write_json_snapshot`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    if not isinstance(snapshot, dict) or "metrics" not in snapshot:
+        raise ValueError(f"{path}: not a metrics snapshot")
+    return snapshot
+
+
+def snapshot_rows(source: _RegistryOrSnapshot) -> List[Tuple[str, str, str]]:
+    """Flatten a snapshot into ``(metric, type, value)`` table rows.
+
+    Histograms render as ``count / sum / p-bucket`` summaries; the CLI's
+    ``stats`` subcommand feeds these rows straight into ``format_table``.
+    """
+    rows: List[Tuple[str, str, str]] = []
+    for metric in _as_snapshot(source)["metrics"]:
+        label = metric["name"] + _label_str(metric.get("labels", {}))
+        if metric["type"] == "histogram":
+            value = f"count={metric['count']} sum={_format_value(metric['sum'])}"
+        else:
+            value = _format_value(metric["value"])
+        rows.append((label, metric["type"], value))
+    return rows

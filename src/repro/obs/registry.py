@@ -1,0 +1,289 @@
+"""Metric primitives and the registry that owns them.
+
+Three metric types, deliberately minimal (no background threads, no
+clock reads inside the primitives themselves):
+
+* :class:`Counter` — monotonically increasing count (``inc``);
+* :class:`Gauge` — a value that can go up and down (``set``/``inc``/``dec``);
+* :class:`Histogram` — observations bucketed over **fixed** boundaries
+  chosen at creation time (``observe``), plus running sum and count.
+
+A :class:`MetricsRegistry` hands out get-or-create instances keyed by
+``(name, labels)`` and snapshots everything into a JSON-safe dict whose
+histogram buckets are already cumulative (Prometheus convention).
+
+The :class:`NullRegistry` is the disabled-mode stand-in: every request
+returns a shared do-nothing singleton, so instrumented code can keep
+references unconditionally and the only hot-path cost of disabled
+observability is the ``is None`` / no-op call the instrumentation site
+chooses to pay (see DESIGN.md, "Observability: the null-registry
+strategy").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+LabelsArg = Optional[Mapping[str, str]]
+_LabelsKey = Tuple[Tuple[str, str], ...]
+
+# Default boundaries for second-scale timings (coordinator/merge paths).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+# Default boundaries for [0, 1] ratios (recall, precision, error rates).
+DEFAULT_RATIO_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+
+def _labels_key(labels: LabelsArg) -> _LabelsKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: _LabelsKey = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    __slots__ = ("name", "help", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: _LabelsKey = ()):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract ``amount``."""
+        self.value -= amount
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Observations over fixed bucket boundaries.
+
+    Args:
+        name: Metric name.
+        help: One-line description.
+        buckets: Strictly increasing upper bounds; an implicit ``+Inf``
+            bucket always terminates the list.
+        labels: Frozen label set (installed by the registry).
+    """
+
+    __slots__ = ("name", "help", "labels", "buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+        labels: _LabelsKey = (),
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # last = +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "buckets": [
+                {"le": ("+Inf" if bound == float("inf") else bound), "count": c}
+                for bound, c in self.cumulative()
+            ],
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by ``(name, labels)``.
+
+    Requesting an existing ``(name, labels)`` pair returns the same
+    instance; requesting an existing name with a different metric type
+    raises, so one name never mixes types across label sets.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, _LabelsKey], object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get(self, cls, name: str, help: str, labels: LabelsArg, **kwargs):
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if metric.kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+        if self._kinds.setdefault(name, cls.kind) != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {self._kinds[name]}"
+            )
+        metric = cls(name, help=help, labels=key[1], **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: LabelsArg = None
+    ) -> Counter:
+        """Get or create a counter."""
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: LabelsArg = None) -> Gauge:
+        """Get or create a gauge."""
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+        labels: LabelsArg = None,
+    ) -> Histogram:
+        """Get or create a histogram (boundaries fixed on first creation)."""
+        return self._get(Histogram, name, help, labels, buckets=buckets)
+
+    def metrics(self) -> List[object]:
+        """Every registered metric, sorted by ``(name, labels)``.
+
+        Natural tuple ordering puts the unlabeled series (empty labels
+        key) ahead of its labeled variants, the conventional exposition
+        order.
+        """
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of every metric (the exporters' input)."""
+        return {"metrics": [m.to_dict() for m in self.metrics()]}
+
+
+class _NullMetric:
+    """Shared do-nothing metric: every mutator is a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry:
+    """Disabled-mode registry: hands out the shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labels: LabelsArg = None):
+        """Return the shared no-op metric."""
+        return _NULL_METRIC
+
+    def gauge(self, name: str, help: str = "", labels: LabelsArg = None):
+        """Return the shared no-op metric."""
+        return _NULL_METRIC
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+        labels: LabelsArg = None,
+    ):
+        """Return the shared no-op metric."""
+        return _NULL_METRIC
+
+    def metrics(self) -> List[object]:
+        """Always empty."""
+        return []
+
+    def snapshot(self) -> dict:
+        """Always empty."""
+        return {"metrics": []}

@@ -124,6 +124,62 @@ class TestCLI:
             main([])
 
 
+class TestMetricsOut:
+    def test_demo_writes_snapshot_and_disables_after(self, tmp_path, capsys):
+        from repro import obs
+
+        path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "demo",
+                "--dataset",
+                "caida",
+                "--memory-kb",
+                "8",
+                "-k",
+                "10",
+                "--metrics-out",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert not obs.is_enabled()  # flag restored on the way out
+        snapshot = obs.export.load_json_snapshot(path)
+        values = {m["name"]: m["value"] for m in snapshot["metrics"]}
+        assert values["ltc_inserts_total"] == 4_000
+
+    def test_stats_table(self, tmp_path, capsys):
+        from repro import obs
+
+        path = tmp_path / "metrics.json"
+        main(
+            ["demo", "--dataset", "caida", "--memory-kb", "8",
+             "--metrics-out", str(path)]
+        )
+        capsys.readouterr()
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out
+        assert "ltc_inserts_total" in out
+
+        assert main(["stats", str(path), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE ltc_inserts_total counter" in out
+
+        assert main(["stats", str(path), "--format", "json"]) == 0
+        import json
+
+        reparsed = json.loads(capsys.readouterr().out)
+        assert reparsed == obs.export.load_json_snapshot(path)
+
+    def test_stats_rejects_bad_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"no": "metrics"}')
+        assert main(["stats", str(bad)]) == 1
+        assert "cannot read snapshot" in capsys.readouterr().out
+        assert main(["stats", str(tmp_path / "missing.json")]) == 1
+
+
 class TestCheckLongtail:
     def test_builtin_dataset_is_longtailed(self, capsys):
         code = main(["check-longtail", "--dataset", "caida"])

@@ -76,12 +76,48 @@ class TestWindowSemantics:
         assert p == 3
 
     def test_silent_item_eventually_dropped(self):
-        wltc = fresh(window=2, decay=0.5)
+        """Frequency-weighted mode: the dead-cell sweep reclaims cells
+        whose ring aged out and whose frequency decayed to noise."""
+        wltc = fresh(window=2, alpha=1.0, beta=1.0, decay=0.5)
         wltc.insert(9)
         for _ in range(8):
             wltc.end_period()
         assert wltc.estimate(9) == (0.0, 0)
         assert len(wltc) == 0
+
+    def test_persistency_only_keeps_aged_cell(self):
+        """Regression: with ``alpha == 0`` the sweep must not evict on
+        the frequency test — a cell whose ring just aged to 0 stays
+        tracked (at significance 0) instead of losing its history."""
+        wltc = fresh(window=2, alpha=0.0, beta=1.0, decay=0.5)
+        wltc.insert(9)
+        for _ in range(8):
+            wltc.end_period()
+        assert len(wltc) == 1
+        freq, persistency = wltc.estimate(9)
+        assert persistency == 0
+        assert freq > 0.0  # decayed history survives the sweep
+        # Reappearing rebuilds windowed persistency in place (a hit, not
+        # a fresh claim: the decayed frequency keeps accumulating).
+        wltc.insert(9)
+        freq_after, persistency_after = wltc.estimate(9)
+        assert persistency_after == 1
+        assert freq_after == pytest.approx(freq + 1.0)
+
+    def test_persistency_only_aged_cell_is_first_victim(self):
+        """The kept zero-significance cell does not clog its bucket: a
+        bucket-full miss replaces it immediately."""
+        wltc = WindowedLTC(
+            num_buckets=1, window=2, bucket_width=2,
+            alpha=0.0, beta=1.0, decay=0.5,
+        )
+        wltc.insert(9)
+        for _ in range(4):
+            wltc.end_period()  # ring of 9 ages to 0; cell kept
+        wltc.insert(1)  # second cell
+        wltc.insert(2)  # bucket full; 9 has significance 0 -> replaced
+        assert wltc.estimate(9) == (0.0, 0)
+        assert wltc.estimate(2)[1] == 1
 
     def test_frequency_decays(self):
         wltc = fresh(window=4, alpha=1.0, beta=0.0, decay=0.5)
