@@ -236,6 +236,142 @@ def test_throughput_batched(benchmark):
     assert speedups["FastLTC"] >= 2.0
 
 
+def test_throughput_baselines(benchmark):
+    """Per-event vs batched ingestion for *every* comparison summary.
+
+    PR-4's batched baseline engine: each summary in the paper's
+    comparison line-ups (counter-based, sketch+heap, persistent,
+    two-structure) is driven through ``PeriodicStream.run`` in both modes
+    on the batched bench's Zipf workload at the 8KB operating point.
+    Results land in the ``baselines`` section of
+    ``BENCH_throughput.json``.
+
+    Gates (also the CI throughput smoke):
+
+    * **differential** — for every summary, the batched run's reported
+      pairs are identical to the per-event run's (always enforced; the
+      deep state equality lives in ``tests/test_batched_baselines.py``);
+    * **speedup** — Space-Saving and the CM sketch+heap pipeline must
+      beat per-event by ``REPRO_BASELINE_SPEEDUP_FLOOR`` (default 2.0;
+      the CI smoke exports 1.2 for noisy shared runners, the nightly
+      job runs the full 2.0), and no summary may be slower batched
+      than per-event.
+    """
+    from repro.combined.two_structure import TwoStructureSignificant
+    from repro.persistent.pie import PIE
+    from repro.persistent.sketch_persistent import SketchPersistent
+    from repro.persistent.small_space import SmallSpacePersistent
+    from repro.persistent.ss_persistent import SpaceSavingPersistent
+    from repro.sketches.count_min import CountMinSketch
+    from repro.sketches.count_sketch import CountSketch
+    from repro.sketches.cu import CUSketch
+    from repro.sketches.topk import SketchTopK
+    from repro.streams.synthetic import zipf_stream
+    from repro.summaries.frequent import Frequent
+    from repro.summaries.lossy_counting import LossyCounting
+    from repro.summaries.space_saving import SpaceSaving
+
+    stream = zipf_stream(
+        num_events=100_000, num_distinct=1_000, skew=1.0, num_periods=5, seed=42
+    )
+    budget = MemoryBudget(kb(8))
+    per_period = stream.period_length
+    factories = {
+        "SS": lambda: SpaceSaving.from_memory(budget),
+        "Freq": lambda: Frequent.from_memory(budget),
+        "LC": lambda: LossyCounting.from_memory(budget),
+        "CM-topk": lambda: SketchTopK.from_memory(CountMinSketch, budget, 100),
+        "CU-topk": lambda: SketchTopK.from_memory(CUSketch, budget, 100),
+        "Count-topk": lambda: SketchTopK.from_memory(CountSketch, budget, 100),
+        "SS+BF": lambda: SpaceSavingPersistent.from_memory(
+            budget, expected_per_period=per_period
+        ),
+        "CM+BF": lambda: SketchPersistent.from_memory(
+            CountMinSketch, budget, 100, expected_per_period=per_period
+        ),
+        "PIE": lambda: PIE.from_memory(budget),
+        "SmallSpace": lambda: SmallSpacePersistent.from_memory(
+            budget, expected_distinct=1_000
+        ),
+        "CU+CU": lambda: TwoStructureSignificant.from_memory(
+            CUSketch, budget, 100, 1.0, 1.0
+        ),
+    }
+
+    def run():
+        return {
+            name: (
+                measure_throughput(factory, stream, name=name, repeats=2),
+                measure_throughput(
+                    factory, stream, name=name, repeats=2, batched=True
+                ),
+            )
+            for name, factory in factories.items()
+        }
+
+    results = once(benchmark, run)
+    # Differential gate: outside the timed region, fresh instances.
+    for name, factory in factories.items():
+        one, many = factory(), factory()
+        stream.run(one)
+        stream.run(many, batched=True)
+        assert one.reported_pairs(100) == many.reported_pairs(100), (
+            f"{name}: batched ingestion diverged from per-event"
+        )
+    speedups = {
+        name: batched.ops / per_event.ops
+        for name, (per_event, batched) in results.items()
+    }
+    emit(
+        "throughput",
+        ["algorithm", "per-event Mops", "batched Mops", "speedup"],
+        [
+            (
+                name,
+                f"{per_event.mops:.3f}",
+                f"{batched.mops:.3f}",
+                f"{speedups[name]:.2f}x",
+            )
+            for name, (per_event, batched) in results.items()
+        ],
+        title="Batched vs per-event ingestion, baseline line-ups (zipf-1.0, 8KB)",
+    )
+    floor = float(os.environ.get("REPRO_BASELINE_SPEEDUP_FLOOR", "2.0"))
+    update_bench_json(
+        "baselines",
+        {
+            "benchmark": (
+                "benchmarks/bench_throughput.py::test_throughput_baselines"
+            ),
+            "stream": {
+                "kind": "zipf",
+                "skew": 1.0,
+                "num_events": len(stream),
+                "num_distinct": 1_000,
+                "num_periods": stream.num_periods,
+                "seed": 42,
+            },
+            "memory_kb": 8,
+            "speedup_floor": floor,
+            "results": [
+                result.to_dict() for pair in results.values() for result in pair
+            ],
+            "speedups": speedups,
+        },
+    )
+    # Never materially slower: the dict-fold paths (Freq, LC) only
+    # amortise the interpreter loop, so their wins are a few percent —
+    # gate at parity-within-noise rather than a strict 1.0.
+    for name, speedup in speedups.items():
+        assert speedup >= 0.9, f"{name} batched slower than per-event"
+    # Headline floors on the structures with fully vectorised paths.
+    for name in ("SS", "CM-topk"):
+        assert speedups[name] >= floor, (
+            f"{name} batched speedup {speedups[name]:.2f}x below the "
+            f"{floor:.2f}x floor"
+        )
+
+
 def test_throughput_parallel(benchmark):
     """Multi-core sharded ingestion vs the sequential batched coordinator.
 

@@ -1,0 +1,129 @@
+"""cProfile driver for the experiment sweeps: where do the cycles go?
+
+Not a pytest benchmark (no ``bench_`` prefix, so the suite never collects
+it) — run it by hand when chasing a regression or sizing the next
+optimisation:
+
+    PYTHONPATH=src python benchmarks/profile_hotspots.py
+    PYTHONPATH=src python benchmarks/profile_hotspots.py --batched
+    PYTHONPATH=src python benchmarks/profile_hotspots.py \
+        --lineup persistent --events 200000 --top 30
+
+It profiles one full ``run_and_evaluate`` sweep (the unit every figure
+benchmark repeats) and prints the top-N functions by cumulative time.
+Comparing the default and ``--batched`` outputs shows exactly which
+per-event loops the PR-4 batch paths removed — in per-event mode the
+summaries' ``insert`` frames dominate; batched, the numpy kernels and
+the remaining replay loops do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Profile one experiment sweep and print the hotspots."
+    )
+    parser.add_argument(
+        "--lineup",
+        choices=["frequent", "persistent", "significant"],
+        default="frequent",
+        help="which comparison line-up to sweep (default: frequent)",
+    )
+    parser.add_argument("--events", type=int, default=100_000)
+    parser.add_argument("--distinct", type=int, default=1_000)
+    parser.add_argument("--skew", type=float, default=1.0)
+    parser.add_argument("--periods", type=int, default=5)
+    parser.add_argument("--memory-kb", type=float, default=8.0)
+    parser.add_argument("-k", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="drive the sweep through the insert_many fast paths",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="functions to print, by cumulative time (default: 20)",
+    )
+    parser.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also dump raw pstats data to PATH (for snakeviz etc.)",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    from repro.experiments.configs import (
+        default_algorithms_frequent,
+        default_algorithms_persistent,
+        default_algorithms_significant,
+    )
+    from repro.experiments.runner import run_and_evaluate
+    from repro.metrics.memory import MemoryBudget, kb
+    from repro.streams.ground_truth import GroundTruth
+    from repro.streams.synthetic import zipf_stream
+
+    stream = zipf_stream(
+        num_events=args.events,
+        num_distinct=args.distinct,
+        skew=args.skew,
+        num_periods=args.periods,
+        seed=args.seed,
+    )
+    budget = MemoryBudget(kb(args.memory_kb))
+    if args.lineup == "frequent":
+        factories = default_algorithms_frequent(budget, stream, args.k)
+    elif args.lineup == "persistent":
+        factories = default_algorithms_persistent(budget, stream, args.k)
+    else:
+        factories = default_algorithms_significant(
+            budget, stream, args.k, 1.0, 1.0
+        )
+    # Oracle outside the profile: it is setup, not sweep work.
+    truth = GroundTruth(stream)
+
+    mode = "batched" if args.batched else "per-event"
+    print(
+        f"profiling run_and_evaluate: {args.lineup} line-up, "
+        f"{args.events} events ({mode})",
+        file=sys.stderr,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    results = run_and_evaluate(
+        factories, stream, args.k, 1.0, 1.0, truth=truth, batched=args.batched
+    )
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw pstats written to {args.out}", file=sys.stderr)
+    for result in results:
+        print(
+            f"# {result.name}: precision={result.precision:.3f} "
+            f"are={result.are:.3g}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

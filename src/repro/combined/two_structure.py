@@ -8,11 +8,12 @@ ranks items by the combined estimate ``α·f̂ + β·p̂``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.membership.bloom import BloomFilter
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 from repro.summaries.heap import TopKHeap
 
 
@@ -43,6 +44,7 @@ class TwoStructureSignificant(StreamSummary):
         self.heap = TopKHeap(k)
         self.alpha = alpha
         self.beta = beta
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(
@@ -76,6 +78,51 @@ class TwoStructureSignificant(StreamSummary):
         else:
             p_est = self.pers_sketch.query(item)
         self.heap.offer(item, self.alpha * f_est + self.beta * p_est)
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        The frequency sketch sees every arrival, so its per-event
+        estimates come from ``update_and_query_many`` in one pass; the
+        Bloom verdicts likewise.  The persistency side stays a stream-
+        order loop because conservative updates and queries of duplicate
+        arrivals interleave with other items' updates — only the heap
+        offer gains the provable no-op skip.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(len(items))
+        batch_query = getattr(self.freq_sketch, "update_and_query_many", None)
+        if batch_query is not None:
+            f_ests = batch_query(items)
+            if hasattr(f_ests, "tolist"):
+                f_ests = f_ests.tolist()
+        else:
+            update_and_query = self.freq_sketch.update_and_query
+            f_ests = [update_and_query(item) for item in items]
+        absent = self.bloom.insert_if_absent_many(items)
+        pers_update = self.pers_sketch.update_and_query
+        pers_query = self.pers_sketch.query
+        alpha = self.alpha
+        beta = self.beta
+        heap = self.heap
+        offer = heap.offer
+        values = heap._values
+        pos = heap._pos
+        capacity = heap.capacity
+        for item, f_est, fresh in zip(items, f_ests, absent):
+            p_est = pers_update(item) if fresh else pers_query(item)
+            value = alpha * f_est + beta * p_est
+            if (
+                len(values) == capacity
+                and value <= values[0]
+                and item not in pos
+            ):
+                continue
+            offer(item, value)
 
     def end_period(self) -> None:
         """React to a period boundary."""

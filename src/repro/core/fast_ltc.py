@@ -21,6 +21,7 @@ from typing import Dict
 from repro.core.config import LTCConfig
 from repro.core.ltc import LTC
 from repro.hashing.family import splitmix64
+from repro.summaries.base import expand_counts
 
 
 class FastLTC(LTC):
@@ -44,19 +45,24 @@ class FastLTC(LTC):
             return
         self._place_miss(item)
 
-    def insert_many(self, items) -> None:
+    def insert_many(self, items, counts=None) -> None:
         """Batched arrivals with the hit path inlined into the chunk loop.
 
         Chunking mirrors ``LTC.insert_many`` (harvests land at the same
         arrival positions as the one-at-a-time path); within a chunk a hit
         costs one dict probe and two list writes.  ``_set_bit`` is constant
         for the whole call — it only changes in ``end_period``.
+        ``counts`` weights the batch as in the base protocol.
         """
+        if counts is not None:
+            items = expand_counts(items, counts)
         try:
             total = len(items)
         except TypeError:
             items = list(items)
             total = len(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(total)
         harvest = self._harvest
         clock = self._clock
         take = clock._take

@@ -28,7 +28,7 @@ from repro.core.clock import ClockPointer
 from repro.core.config import LTCConfig
 from repro.hashing.family import splitmix64
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 
 
 class LTC(StreamSummary):
@@ -89,6 +89,7 @@ class LTC(StreamSummary):
                 "ltc_harvests_total",
                 "CLOCK flag harvests folded into persistency counters",
             )
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(
@@ -121,7 +122,7 @@ class LTC(StreamSummary):
         for slot in self._clock.on_arrival():
             self._harvest(slot)
 
-    def insert_many(self, items) -> None:
+    def insert_many(self, items, counts=None) -> None:
         """Process a batch of arrivals (count-based CLOCK advancement).
 
         Equivalent to ``insert`` per item, cell for cell: arrivals that
@@ -129,13 +130,18 @@ class LTC(StreamSummary):
         chunk's sweep steps are taken in one amortised pass (the inlined
         form of :meth:`~repro.core.clock.ClockPointer.on_arrivals`) at
         exactly the arrival position where the one-at-a-time path would
-        take them.
+        take them.  ``counts`` weights the batch as in
+        :meth:`repro.summaries.base.StreamSummary.insert_many`.
         """
+        if counts is not None:
+            items = expand_counts(items, counts)
         try:
             total = len(items)
         except TypeError:
             items = list(items)
             total = len(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(total)
         place = self._place
         harvest = self._harvest
         clock = self._clock

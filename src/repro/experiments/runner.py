@@ -71,6 +71,7 @@ def _run_metered(
     alpha: float,
     beta: float,
     name: str,
+    batched: bool = False,
 ) -> None:
     """Drive ``summary`` period by period, recording recall/ARE series.
 
@@ -108,9 +109,13 @@ def _run_metered(
     exact = truth.top_k_items(k, alpha, beta)
     end_period = getattr(summary, "end_period", None)
     insert = summary.insert
+    insert_many = getattr(summary, "insert_many", None) if batched else None
     for period in stream.iter_periods():
-        for item in period:
-            insert(item)
+        if insert_many is not None:
+            insert_many(period)
+        else:
+            for item in period:
+                insert(item)
         if end_period is not None:
             end_period()
         reported = summary.reported_pairs(k)
@@ -134,6 +139,7 @@ def run_and_evaluate(
     alpha: float,
     beta: float,
     truth: GroundTruth | None = None,
+    batched: bool = False,
 ) -> "list[EvalResult]":
     """Build, run and score every summary in ``factories``.
 
@@ -151,14 +157,21 @@ def run_and_evaluate(
         beta: Persistency weight.
         truth: Pre-computed oracle (recomputed when omitted — pass it when
             sweeping many configurations over one stream).
+        batched: Feed each summary whole-period batches through its
+            ``insert_many`` fast path instead of per-event ``insert``.
+            Every summary's batch path is differentially pinned to the
+            per-event replay, so results are identical — only wall-clock
+            changes.
     """
     truth = truth or GroundTruth(stream)
     results = []
     for name, factory in factories.items():
         summary = factory()
         if obs.is_enabled():
-            _run_metered(summary, stream, truth, k, alpha, beta, name)
+            _run_metered(
+                summary, stream, truth, k, alpha, beta, name, batched=batched
+            )
         else:
-            stream.run(summary)
+            stream.run(summary, batched=batched)
         results.append(evaluate(summary, truth, k, alpha, beta, name=name))
     return results

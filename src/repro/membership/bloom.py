@@ -7,9 +7,15 @@ item already appeared in the current period?" with no false negatives.
 from __future__ import annotations
 
 import math
+from typing import List
 
-from repro.hashing.family import HashFamily
+from repro.hashing.family import HashFamily, as_key_array, numpy_available
 from repro.metrics.memory import MemoryBudget
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 
 class BloomFilter:
@@ -92,10 +98,53 @@ class BloomFilter:
             self._inserted += 1
         return absent
 
+    def insert_if_absent_many(self, keys) -> List[bool]:
+        """Batch :meth:`insert_if_absent`: one result per key, in order.
+
+        Replay-identical to the per-key calls: any occurrence of a key
+        after its first within the batch is guaranteed present (its bits
+        were just set), so only first occurrences are probed — in stream
+        order, because which probe sets which bit decides later false
+        positives — and their hash indices are computed in one vectorised
+        pass per hash function.
+        """
+        if not numpy_available():
+            insert_if_absent = self.insert_if_absent
+            return [insert_if_absent(key) for key in keys]
+        arr = as_key_array(keys)
+        n = int(arr.size)
+        if n == 0:
+            return []
+        uniq, first = _np.unique(arr, return_index=True)
+        order = _np.argsort(first, kind="stable")
+        uniq = uniq[order]
+        first = first[order]
+        m = _np.uint64(self.num_bits)
+        idx_rows = [
+            (self._family.hash_array(i, uniq) % m).astype(_np.int64).tolist()
+            for i in range(self.num_hashes)
+        ]
+        bits = self._bits
+        results = [False] * n
+        inserted = 0
+        for pos, slots in zip(first.tolist(), zip(*idx_rows)):
+            absent = False
+            for idx in slots:
+                mask = 1 << (idx & 7)
+                if not bits[idx >> 3] & mask:
+                    absent = True
+                    bits[idx >> 3] |= mask
+            if absent:
+                inserted += 1
+                results[pos] = True
+        self._inserted += inserted
+        return results
+
     def clear(self) -> None:
         """Reset all bits (called at period boundaries)."""
-        for i in range(len(self._bits)):
-            self._bits[i] = 0
+        # A fresh zeroed buffer is O(n) in C; the old in-place byte loop
+        # dominated period boundaries at realistic filter sizes.
+        self._bits = bytearray(len(self._bits))
         self._inserted = 0
 
     def estimated_fpp(self) -> float:

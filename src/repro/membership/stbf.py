@@ -14,7 +14,12 @@ import enum
 from typing import Iterator, List, Tuple
 
 from repro.codes.raptor import RaptorCode
-from repro.hashing.family import HashFamily
+from repro.hashing.family import HashFamily, as_key_array, numpy_available
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 
 class CellState(enum.IntEnum):
@@ -90,6 +95,49 @@ class SpaceTimeBloomFilter:
                 ):
                     self._states[cell] = CellState.COLLIDED
             # COLLIDED cells stay collided.
+
+    def insert_many(self, items) -> None:
+        """Record a batch of appearances in one pass, replay-identical.
+
+        Re-inserts are idempotent, so the batch folds to its distinct
+        identifiers; they are replayed in first-occurrence order (the
+        first writer of a cell leaves the residual fingerprint/symbol a
+        later collision preserves, so order is part of the replicated
+        state) with the per-row cell indices and fingerprints hashed in
+        one vectorised pass.
+        """
+        if not numpy_available():
+            insert = self.insert
+            for item in items:
+                insert(item)
+            return
+        arr = as_key_array(items)
+        if arr.size == 0:
+            return
+        uniq, first = _np.unique(arr, return_index=True)
+        uniq = uniq[_np.argsort(first, kind="stable")]
+        m = _np.uint64(self.num_cells)
+        cell_rows = [
+            (self._family.hash_array(i, uniq) % m).astype(_np.int64).tolist()
+            for i in range(self.num_hashes)
+        ]
+        fp_mask = (1 << self.fp_bits) - 1
+        fps = (self._family.hash_array(self.num_hashes, uniq)).tolist()
+        states = self._states
+        cell_fps = self._fps
+        symbols = self._symbols
+        encode = self.code.encode
+        for item, fp_raw, cells in zip(uniq.tolist(), fps, zip(*cell_rows)):
+            fp = fp_raw & fp_mask
+            for cell in cells:
+                state = states[cell]
+                if state == CellState.EMPTY:
+                    states[cell] = CellState.OCCUPIED
+                    cell_fps[cell] = fp
+                    symbols[cell] = encode(item, cell)
+                elif state == CellState.OCCUPIED:
+                    if cell_fps[cell] != fp or symbols[cell] != encode(item, cell):
+                        states[cell] = CellState.COLLIDED
 
     def singletons(self) -> Iterator[Tuple[int, int, int]]:
         """Yield ``(cell_index, fingerprint, symbol)`` of singleton cells."""

@@ -36,6 +36,7 @@ from typing import Optional, Union
 
 from repro.obs import export
 from repro.obs.registry import (
+    DEFAULT_BATCH_SIZE_BUCKETS,
     DEFAULT_RATIO_BUCKETS,
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -53,11 +54,13 @@ __all__ = [
     "NullRegistry",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_RATIO_BUCKETS",
+    "DEFAULT_BATCH_SIZE_BUCKETS",
     "enable",
     "disable",
     "is_enabled",
     "registry",
     "export",
+    "batch_size_histogram",
 ]
 
 _NULL = NullRegistry()
@@ -91,3 +94,21 @@ def is_enabled() -> bool:
 def registry() -> Union[MetricsRegistry, NullRegistry]:
     """The active registry (the shared null registry when disabled)."""
     return _active
+
+
+def batch_size_histogram(summary: str) -> Optional[Histogram]:
+    """Capture-at-construction helper for ``insert_many`` batch sizes.
+
+    Returns the ``summary_insert_many_batch_size`` histogram labelled with
+    ``summary`` when observability is enabled, else ``None`` — callers
+    store the result once and guard the hot path with ``is not None``,
+    matching the null-registry strategy used by LTC.
+    """
+    if not _active.enabled:
+        return None
+    return _active.histogram(
+        "summary_insert_many_batch_size",
+        "Items per insert_many call, by summary class",
+        buckets=DEFAULT_BATCH_SIZE_BUCKETS,
+        labels={"summary": summary},
+    )

@@ -36,6 +36,11 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 DEFAULT_RATIO_BUCKETS: Tuple[float, ...] = (
     0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
 )
+# Default boundaries for insert_many batch sizes (items per call); powers
+# of 8 span single-event fallbacks up to whole-period batches.
+DEFAULT_BATCH_SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 8, 64, 512, 4096, 32768, 262144,
+)
 
 
 def _labels_key(labels: LabelsArg) -> _LabelsKey:

@@ -12,12 +12,19 @@ budget of the single-structure algorithms to make it comparable (§V-C) —
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.codes.raptor import RaptorCode
+from repro.hashing.family import as_key_array, numpy_available
 from repro.membership.stbf import SpaceTimeBloomFilter
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 _ID_MASK32 = 0xFFFFFFFF
 
@@ -55,6 +62,7 @@ class PIE(StreamSummary):
         # can be skipped outright.  This set is a pure speed cache (the C++
         # original simply pays the per-duplicate hash cost).
         self._seen_this_period: set = set()
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(
@@ -95,6 +103,38 @@ class PIE(StreamSummary):
             return
         self._seen_this_period.add(item)
         self._current.insert(item)
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        Persistency only cares about period-first appearances, so the
+        batch folds to its distinct masked identifiers (first-occurrence
+        order, which the STBF preserves in collided cells' residuals),
+        minus those already seen this period; the survivors go to the
+        current filter's vectorised ``insert_many``.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(len(items))
+        if not numpy_available():
+            insert = self.insert
+            for item in items:
+                insert(item)
+            return
+        arr = as_key_array(items) & _np.uint64(_ID_MASK32)
+        if arr.size == 0:
+            return
+        uniq, first = _np.unique(arr, return_index=True)
+        uniq = uniq[_np.argsort(first, kind="stable")]
+        seen = self._seen_this_period
+        fresh = [item for item in uniq.tolist() if item not in seen]
+        if not fresh:
+            return
+        seen.update(fresh)
+        self._current.insert_many(fresh)
 
     def end_period(self) -> None:
         """Archive the period's filter and start a fresh one."""

@@ -11,11 +11,12 @@ to sketch + heap.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.membership.bloom import BloomFilter
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 from repro.summaries.heap import TopKHeap
 
 
@@ -33,6 +34,7 @@ class SketchPersistent(StreamSummary):
         self.sketch = sketch
         self.bloom = bloom
         self.heap = TopKHeap(k)
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(
@@ -55,8 +57,57 @@ class SketchPersistent(StreamSummary):
     def insert(self, item: int) -> None:
         """Process one arrival of ``item``."""
         if self.bloom.insert_if_absent(item):
-            estimate = self.sketch.update_and_query(item)
-            self.heap.offer(item, float(estimate))
+            estimate = float(self.sketch.update_and_query(item))
+            heap = self.heap
+            values = heap._values
+            if (
+                len(values) == heap.capacity
+                and estimate <= values[0]
+                and item not in heap._pos
+            ):
+                return  # provable no-op: full heap, untracked item below floor
+            heap.offer(item, estimate)
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        Period-first survivors of the Bloom filter's batch probe feed the
+        sketch's ``update_and_query_many`` (when available), and the heap
+        replays the per-event estimates with the same no-op skip as
+        :class:`repro.sketches.topk.SketchTopK`.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(len(items))
+        absent = self.bloom.insert_if_absent_many(items)
+        survivors = [item for item, fresh in zip(items, absent) if fresh]
+        if not survivors:
+            return
+        batch_query = getattr(self.sketch, "update_and_query_many", None)
+        if batch_query is not None:
+            estimates = batch_query(survivors)
+            if hasattr(estimates, "astype"):
+                estimates = estimates.astype(float).tolist()
+        else:
+            update_and_query = self.sketch.update_and_query
+            estimates = [update_and_query(item) for item in survivors]
+        heap = self.heap
+        offer = heap.offer
+        values = heap._values
+        pos = heap._pos
+        capacity = heap.capacity
+        for item, estimate in zip(survivors, estimates):
+            estimate = float(estimate)
+            if (
+                len(values) == capacity
+                and estimate <= values[0]
+                and item not in pos
+            ):
+                continue
+            offer(item, estimate)
 
     def end_period(self) -> None:
         """React to a period boundary."""

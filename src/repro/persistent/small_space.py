@@ -15,11 +15,17 @@ paper exploits when comparing against sampling methods.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
-from repro.hashing.family import HashFamily
+from repro import obs
+from repro.hashing.family import HashFamily, as_key_array, numpy_available
 from repro.metrics.memory import COUNTER_CELL_BYTES, MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 _HASH_SPACE = 1 << 64
 
@@ -40,11 +46,13 @@ class SmallSpacePersistent(StreamSummary):
         if not 0.0 < sample_rate <= 1.0:
             raise ValueError("sample_rate must be in (0, 1]")
         self.capacity = capacity
-        self._hash = HashFamily(seed).member(0)
+        self._family = HashFamily(seed)
+        self._hash = self._family.member(0)
         self._threshold = int(sample_rate * _HASH_SPACE)
         self._freq: Dict[int, int] = {}
         self._pers: Dict[int, int] = {}
         self._seen_this_period: set = set()
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(
@@ -73,6 +81,52 @@ class SmallSpacePersistent(StreamSummary):
         if item not in self._seen_this_period:
             self._seen_this_period.add(item)
             self._pers[item] = self._pers.get(item, 0) + 1
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        The sampling hash is computed for the whole batch in one
+        vectorised pass; the threshold only ever decreases, so the
+        candidates it admits are a superset of the sampled events and
+        each candidate re-checks the (possibly tightened) threshold
+        before the per-event bookkeeping — non-candidates are exactly the
+        events per-event replay drops at the first ``_sampled`` test.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(len(items))
+        if not numpy_available():
+            insert = self.insert
+            for item in items:
+                insert(item)
+            return
+        arr = as_key_array(items)
+        if arr.size == 0:
+            return
+        hashes = self._family.hash_array(0, arr)
+        candidates = _np.flatnonzero(hashes < _np.uint64(self._threshold))
+        if candidates.size == 0:
+            return
+        freq = self._freq
+        pers = self._pers
+        seen = self._seen_this_period
+        capacity = self.capacity
+        for i in candidates.tolist():
+            item = items[i]
+            if item not in freq:
+                if int(hashes[i]) >= self._threshold:
+                    continue  # tightened mid-batch below this event's hash
+                if len(freq) >= capacity:
+                    self._tighten()
+                    if int(hashes[i]) >= self._threshold:
+                        continue
+            freq[item] = freq.get(item, 0) + 1
+            if item not in seen:
+                seen.add(item)
+                pers[item] = pers.get(item, 0) + 1
 
     def _tighten(self) -> None:
         """Halve the sampling threshold and evict now-unsampled items.

@@ -12,11 +12,12 @@ positives, and never overcount by more than P/m (P = Σ persistencies).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.membership.bloom import BloomFilter
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 from repro.summaries.space_saving import SpaceSaving
 
 
@@ -31,6 +32,7 @@ class SpaceSavingPersistent(StreamSummary):
     def __init__(self, capacity: int, bloom: BloomFilter):
         self._ss = SpaceSaving(capacity)
         self.bloom = bloom
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(
@@ -51,6 +53,26 @@ class SpaceSavingPersistent(StreamSummary):
         """Process one arrival; only period-first appearances count."""
         if self.bloom.insert_if_absent(item):
             self._ss.insert(item)
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        The Bloom filter's batch probe returns each arrival's
+        absent/present verdict in stream order; the period-first
+        survivors then feed Space-Saving's own batch path.  The two
+        structures share no state, so splitting the interleaved per-event
+        sequence into two passes is exact.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(len(items))
+        absent = self.bloom.insert_if_absent_many(items)
+        self._ss.insert_many(
+            [item for item, fresh in zip(items, absent) if fresh]
+        )
 
     def end_period(self) -> None:
         """Clear the dedup filter at the period boundary."""

@@ -1,0 +1,67 @@
+"""Vectorised group-by kernels shared by the sketch batch paths.
+
+Both helpers answer per-event questions about a batch of slot indices
+without materialising the per-event loop: for event ``i`` hitting slot
+``idx[i]``, how many earlier events of the same batch hit the same slot
+(:func:`grouped_cumcount`), and what is the inclusive running sum of a
+per-event value over same-slot events (:func:`grouped_cumsum`)?  The
+answers let ``update_and_query_many`` reconstruct the counter value each
+event *would* have observed mid-batch while committing the whole batch to
+the table in one pass.
+
+Pure numpy; callers gate on :func:`repro.hashing.family.numpy_available`.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+
+def _group_offsets(sorted_idx):
+    """Start offset (into the sorted order) of each event's slot group."""
+    n = sorted_idx.shape[0]
+    is_start = _np.empty(n, dtype=bool)
+    is_start[0] = True
+    _np.not_equal(sorted_idx[1:], sorted_idx[:-1], out=is_start[1:])
+    starts = _np.flatnonzero(is_start)
+    sizes = _np.diff(_np.append(starts, n))
+    return _np.repeat(starts, sizes)
+
+
+def grouped_cumcount(idx):
+    """Per event, the number of *earlier* batch events hitting its slot.
+
+    ``idx`` is an int array of slot indices in stream order; the result
+    has the same shape, with ``out[i] == |{j < i : idx[j] == idx[i]}|``.
+    """
+    n = idx.shape[0]
+    if n == 0:
+        return _np.empty(0, dtype=_np.int64)
+    order = _np.argsort(idx, kind="stable")
+    offsets = _group_offsets(idx[order])
+    out = _np.empty(n, dtype=_np.int64)
+    out[order] = _np.arange(n, dtype=_np.int64) - offsets
+    return out
+
+
+def grouped_cumsum(idx, values):
+    """Inclusive running sum of ``values`` over same-slot events.
+
+    ``out[i] == sum(values[j] for j <= i if idx[j] == idx[i])`` — the
+    signed-counter analogue of :func:`grouped_cumcount` (Count sketch
+    needs per-event ±1 contributions, not occurrence ranks).
+    """
+    n = idx.shape[0]
+    if n == 0:
+        return _np.empty(0, dtype=_np.int64)
+    order = _np.argsort(idx, kind="stable")
+    sorted_vals = values[order].astype(_np.int64)
+    running = _np.cumsum(sorted_vals)
+    offsets = _group_offsets(idx[order])
+    base = _np.where(offsets > 0, running[offsets - 1], 0)
+    out = _np.empty(n, dtype=_np.int64)
+    out[order] = running - base
+    return out

@@ -11,6 +11,7 @@ from array import array
 
 from repro.hashing.family import HashFamily, as_key_array, numpy_available
 from repro.metrics.memory import MemoryBudget
+from repro.sketches._vectorized import grouped_cumcount
 
 try:
     import numpy as _np
@@ -74,6 +75,39 @@ class CountMinSketch:
             idx = (self._family.hash_array(row, uniq) % width).astype(_np.int64)
             view = _np.frombuffer(table, dtype=_np.int64)
             _np.add.at(view, idx, deltas)
+
+    def update_and_query_many(self, keys, delta: int = 1):
+        """Per-event fresh estimates for a whole batch, replay-identical.
+
+        Returns the sequence of estimates :meth:`update_and_query` would
+        produce for each key in stream order (an int64 array with numpy,
+        a list without), leaving the tables exactly as a sequential
+        replay would.  The counter value event ``i`` observes in a row is
+        its pre-batch value plus ``delta`` per batch event ``j <= i``
+        hashing to the same slot — a grouped occurrence rank
+        (:func:`repro.sketches._vectorized.grouped_cumcount`) — so no
+        per-event table write is needed; each row commits the folded
+        batch in one ``numpy.add.at``.
+        """
+        if not numpy_available():
+            update_and_query = self.update_and_query
+            return [update_and_query(key, delta) for key in keys]
+        arr = as_key_array(keys)
+        if arr.size == 0:
+            return _np.empty(0, dtype=_np.int64)
+        width = _np.uint64(self.width)
+        estimates = None
+        for row, table in enumerate(self._tables):
+            idx = (self._family.hash_array(row, arr) % width).astype(_np.int64)
+            view = _np.frombuffer(table, dtype=_np.int64)
+            row_est = view[idx] + (grouped_cumcount(idx) + 1) * delta
+            if estimates is None:
+                estimates = row_est
+            else:
+                _np.minimum(estimates, row_est, out=estimates)
+            uniq, counts = _np.unique(idx, return_counts=True)
+            _np.add.at(view, uniq, counts.astype(_np.int64) * delta)
+        return estimates
 
     def query(self, key: int) -> int:
         """Point-estimate ``key``'s count (never an underestimate)."""

@@ -12,6 +12,7 @@ from array import array
 
 from repro.hashing.family import HashFamily, as_key_array, numpy_available
 from repro.metrics.memory import MemoryBudget
+from repro.sketches._vectorized import grouped_cumsum
 
 try:
     import numpy as _np
@@ -98,6 +99,40 @@ class CountSketch:
         """Single-pass update returning the fresh estimate."""
         self.update(key, delta)
         return self.query(key)
+
+    def update_and_query_many(self, keys, delta: int = 1):
+        """Per-event fresh estimates for a whole batch, replay-identical.
+
+        The signed counter event ``i`` observes in a row is its pre-batch
+        value plus the inclusive signed running sum of same-slot batch
+        events (:func:`repro.sketches._vectorized.grouped_cumsum`); the
+        per-event estimate is the row median with the same
+        truncate-toward-zero conversion ``int(statistics.median(...))``
+        applies on the per-event path.  Tables commit the folded batch in
+        one pass per row.
+        """
+        if not numpy_available():
+            update_and_query = self.update_and_query
+            return [update_and_query(key, delta) for key in keys]
+        arr = as_key_array(keys)
+        n = arr.size
+        if n == 0:
+            return _np.empty(0, dtype=_np.int64)
+        width = _np.uint64(self.width)
+        one = _np.uint64(1)
+        row_estimates = _np.empty((self.rows, n), dtype=_np.int64)
+        for row in range(self.rows):
+            idx = (self._family.hash_array(2 * row, arr) % width).astype(
+                _np.int64
+            )
+            sign_bits = self._family.hash_array(2 * row + 1, arr) & one
+            signs = _np.where(sign_bits.astype(bool), 1, -1).astype(_np.int64)
+            view = _np.frombuffer(self._tables[row], dtype=_np.int64)
+            signed = signs * delta
+            row_estimates[row] = signs * (view[idx] + grouped_cumsum(idx, signed))
+            _np.add.at(view, idx, signed)
+        medians = _np.median(row_estimates, axis=0)
+        return _np.trunc(medians).astype(_np.int64)
 
     @property
     def total_counters(self) -> int:

@@ -76,3 +76,41 @@ class CUSketch(CountMinSketch):
         """Single-pass update returning the fresh estimate."""
         self.update(key, delta)
         return self.query(key)
+
+    def update_and_query_many(self, keys, delta: int = 1):
+        """Per-event fresh estimates for a whole batch, replay-identical.
+
+        Conservative update makes the raise-to-target pass inherently
+        sequential, but the fresh estimate is free inside it: after
+        raising the minimum mapped counters to ``min + delta``, the
+        post-update minimum *is* the target, which is exactly what
+        :meth:`update_and_query` returns.  As in :meth:`update_many`,
+        only the per-row hashing is hoisted to numpy.
+        """
+        if delta < 0:
+            raise ValueError("CU sketch does not support decrements")
+        if delta == 0:
+            # update() is a no-op at delta=0, so the estimate is a plain query.
+            return [self.query(key) for key in keys]
+        if not numpy_available():
+            update_and_query = self.update_and_query
+            return [update_and_query(key, delta) for key in keys]
+        arr = as_key_array(keys)
+        if arr.size == 0:
+            return []
+        width = _np.uint64(self.width)
+        slot_rows = [
+            (self._family.hash_array(row, arr) % width).astype(_np.int64).tolist()
+            for row in range(self.rows)
+        ]
+        tables = self._tables
+        estimates = []
+        append = estimates.append
+        for slots in zip(*slot_rows):
+            values = [t[s] for t, s in zip(tables, slots)]
+            target = min(values) + delta
+            for table, slot, value in zip(tables, slots, values):
+                if value < target:
+                    table[slot] = target
+            append(target)
+        return estimates

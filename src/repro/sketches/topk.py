@@ -4,14 +4,22 @@
 and update top-k frequent items" (§II-A).  On every arrival the sketch is
 updated, the fresh estimate is read back, and the heap is offered the
 ``(item, estimate)`` pair.
+
+Both ingest paths skip the heap offer when it is provably a no-op: a full
+heap ignores an untracked item whose estimate does not beat the current
+floor (``TopKHeap.offer`` falls through its final ``value > min`` branch).
+On Zipfian streams the overwhelming majority of arrivals are exactly such
+tail items, so the skip removes most heap traffic without changing any
+report — regression-tested against the always-offer replay.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 from repro.summaries.heap import TopKHeap
 
 
@@ -27,6 +35,7 @@ class SketchTopK(StreamSummary):
     def __init__(self, sketch, k: int):
         self.sketch = sketch
         self.heap = TopKHeap(k)
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(
@@ -38,8 +47,53 @@ class SketchTopK(StreamSummary):
 
     def insert(self, item: int) -> None:
         """Process one arrival of ``item``."""
-        estimate = self.sketch.update_and_query(item)
-        self.heap.offer(item, float(estimate))
+        estimate = float(self.sketch.update_and_query(item))
+        heap = self.heap
+        values = heap._values
+        if (
+            len(values) == heap.capacity
+            and estimate <= values[0]
+            and item not in heap._pos
+        ):
+            return  # provable no-op: full heap, untracked item below the floor
+        heap.offer(item, estimate)
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        The sketch's ``update_and_query_many`` commits the whole batch and
+        returns every per-event fresh estimate, so only the heap replay —
+        with the same no-op skip as :meth:`insert` — stays a Python loop.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(len(items))
+        batch_query = getattr(self.sketch, "update_and_query_many", None)
+        if batch_query is None:
+            insert = self.insert
+            for item in items:
+                insert(item)
+            return
+        estimates = batch_query(items)
+        if hasattr(estimates, "astype"):
+            estimates = estimates.astype(float).tolist()
+        heap = self.heap
+        offer = heap.offer
+        values = heap._values
+        pos = heap._pos
+        capacity = heap.capacity
+        for item, estimate in zip(items, estimates):
+            estimate = float(estimate)
+            if (
+                len(values) == capacity
+                and estimate <= values[0]
+                and item not in pos
+            ):
+                continue
+            offer(item, estimate)
 
     def query(self, item: int) -> float:
         """Estimate the summary's ranking quantity for ``item``."""

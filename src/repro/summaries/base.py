@@ -3,7 +3,25 @@
 from __future__ import annotations
 
 import abc
-from typing import List, NamedTuple
+from itertools import repeat
+from typing import List, NamedTuple, Optional, Sequence
+
+
+def expand_counts(items, counts) -> list:
+    """Flatten a weighted batch into per-arrival items, in stream order.
+
+    ``(items, counts)`` describes ``counts[i]`` consecutive arrivals of
+    ``items[i]``; the expansion is the exact event sequence a per-event
+    replay would see.  Negative counts are rejected; zero counts drop the
+    item.
+    """
+    out: list = []
+    extend = out.extend
+    for item, count in zip(items, counts):
+        if count < 0:
+            raise ValueError("counts must be non-negative")
+        extend(repeat(item, count))
+    return out
 
 
 class ItemReport(NamedTuple):
@@ -33,18 +51,27 @@ class StreamSummary(abc.ABC):
     def insert(self, item: int) -> None:
         """Process one arrival of ``item``."""
 
-    def insert_many(self, items) -> None:
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
         """Process a batch of arrivals, in order.
 
-        Semantically identical to calling :meth:`insert` per item; the
-        default is a plain loop with the method lookup hoisted.  Summaries
-        with a cheaper amortised batch path (LTC, FastLTC) override this —
-        differential tests pin every override cell-for-cell equal to the
-        one-at-a-time reference.
+        ``counts``, when given, weights the batch: ``counts[i]``
+        consecutive arrivals of ``items[i]`` (see :func:`expand_counts`).
+        Semantically identical to calling :meth:`insert` per expanded
+        item; the default is a plain loop with the method lookup hoisted.
+        Summaries with a cheaper amortised batch path (LTC, FastLTC, and
+        every comparison baseline) override this — differential tests pin
+        every override cell-for-cell equal to the one-at-a-time reference.
         """
         insert = self.insert
-        for item in items:
-            insert(item)
+        if counts is None:
+            for item in items:
+                insert(item)
+            return
+        for item, count in zip(items, counts):
+            if count < 0:
+                raise ValueError("counts must be non-negative")
+            for _ in range(count):
+                insert(item)
 
     def end_period(self) -> None:
         """React to a period boundary (no-op for frequency-only summaries)."""

@@ -9,10 +9,11 @@ insertion, so the amortised cost per arrival is O(1).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 
 
 class Frequent(StreamSummary):
@@ -24,6 +25,7 @@ class Frequent(StreamSummary):
         self.capacity = capacity
         self._counters: Dict[int, int] = {}  # item -> estimate (no offset)
         self.decrements = 0  # total global decrements (for the MG bound)
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(cls, budget: MemoryBudget) -> "Frequent":
@@ -49,6 +51,57 @@ class Frequent(StreamSummary):
                 dead.append(key)
         for key in dead:
             del counters[key]
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        Hits and free-slot adds commute within a run (the counter set
+        only grows), so maximal runs fold to per-item multiplicities
+        applied in first-occurrence order — preserving the dict insertion
+        order a per-event replay produces.  The run-breaking event (a new
+        item against a full table) is the global decrement and is applied
+        singly.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        total = len(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(total)
+        counters = self._counters
+        capacity = self.capacity
+        i = 0
+        while i < total:
+            mult: dict = {}
+            free = capacity - len(counters)
+            j = i
+            while j < total:
+                item = items[j]
+                if item in mult:
+                    mult[item] += 1
+                elif item in counters:
+                    mult[item] = 1
+                elif free > 0:
+                    mult[item] = 1
+                    free -= 1
+                else:
+                    break
+                j += 1
+            get = counters.get
+            for item, arrivals in mult.items():
+                counters[item] = get(item, 0) + arrivals
+            i = j
+            if i < total:
+                self.decrements += 1
+                dead = []
+                for key in counters:
+                    counters[key] -= 1
+                    if counters[key] == 0:
+                        dead.append(key)
+                for key in dead:
+                    del counters[key]
+                i += 1
 
     def query(self, item: int) -> float:
         """Estimate the summary's ranking quantity for ``item``."""

@@ -15,10 +15,11 @@ the paper applies to make all algorithms memory-comparable.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 
 
 class LossyCounting(StreamSummary):
@@ -40,6 +41,7 @@ class LossyCounting(StreamSummary):
         self._entries: Dict[int, Tuple[int, int]] = {}  # item -> (count, delta)
         self._seen = 0
         self._bucket_id = 1
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(cls, budget: MemoryBudget) -> "LossyCounting":
@@ -59,6 +61,67 @@ class LossyCounting(StreamSummary):
         if self._seen % self.bucket_width == 0:
             self._prune()
             self._bucket_id += 1
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        Chunks the batch at prune boundaries (every ``bucket_width``
+        arrivals) so Δ for new entries and the prune bucket id stay
+        constant within a chunk; inside a chunk, maximal runs of hits and
+        free-slot adds fold to multiplicities applied in first-occurrence
+        order (``_shed`` breaks count ties by dict insertion order, so
+        the order is part of the replicated state).  The run-breaking
+        event — a new item against a full table, which sheds — is
+        delegated to :meth:`insert`.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        total = len(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(total)
+        entries = self._entries
+        capacity = self.capacity
+        width = self.bucket_width
+        i = 0
+        while i < total:
+            limit = min(total, i + width - self._seen % width)
+            mult: dict = {}
+            free = capacity - len(entries)
+            j = i
+            while j < limit:
+                item = items[j]
+                if item in mult:
+                    mult[item] += 1
+                elif item in entries:
+                    mult[item] = 1
+                elif free > 0:
+                    mult[item] = 1
+                    free -= 1
+                else:
+                    break
+                j += 1
+            if j > i:
+                delta = self._bucket_id - 1
+                get = entries.get
+                for item, arrivals in mult.items():
+                    entry = get(item)
+                    if entry is not None:
+                        entries[item] = (entry[0] + arrivals, entry[1])
+                    else:
+                        entries[item] = (arrivals, delta)
+                self._seen += j - i
+                if self._seen % width == 0:
+                    self._prune()
+                    self._bucket_id += 1
+                    entries = self._entries  # _prune rebinds the dict
+            blocked = j < limit
+            i = j
+            if blocked:
+                self.insert(items[i])
+                entries = self._entries  # insert may prune (rebind)
+                i += 1
 
     def _prune(self) -> None:
         """Standard boundary prune: drop entries with count + Δ ≤ b."""

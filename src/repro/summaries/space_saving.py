@@ -9,10 +9,11 @@ amortised updates.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 from repro.summaries.stream_summary import StreamSummaryList
 
 
@@ -29,6 +30,7 @@ class SpaceSaving(StreamSummary):
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._summary = StreamSummaryList()
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(cls, budget: MemoryBudget) -> "SpaceSaving":
@@ -44,6 +46,54 @@ class SpaceSaving(StreamSummary):
             summary.add(item, count=1, error=0)
         else:
             summary.replace_min(item)
+
+    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        The batch is split into maximal *runs* of events that are either
+        hits on monitored items or first appearances while a counter cell
+        is still free — within such a run membership never shrinks, so
+        the run folds to per-item multiplicities and one
+        :meth:`StreamSummaryList.apply_run` bulk pass.  The event that
+        breaks a run (a miss against a full table) is the order-sensitive
+        eviction and is replayed singly via ``replace_min``.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        total = len(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(total)
+        summary = self._summary
+        nodes = summary._nodes
+        capacity = self.capacity
+        apply_run = summary.apply_run
+        i = 0
+        while i < total:
+            mult: dict = {}
+            last: dict = {}
+            free = capacity - len(nodes)
+            j = i
+            while j < total:
+                item = items[j]
+                if item in mult:
+                    mult[item] += 1
+                elif item in nodes:
+                    mult[item] = 1
+                elif free > 0:
+                    mult[item] = 1
+                    free -= 1
+                else:
+                    break
+                last[item] = j
+                j += 1
+            if mult:
+                apply_run(mult, last)
+            i = j
+            if i < total:
+                summary.replace_min(items[i])
+                i += 1
 
     def query(self, item: int) -> float:
         """Estimate the summary's ranking quantity for ``item``."""

@@ -104,6 +104,55 @@ class StreamSummaryList:
         self._move_up_one(node)
         return evicted, min_count
 
+    def apply_run(self, mult: Dict[int, int], last: Dict[int, int]) -> None:
+        """Apply a run of hits/adds in one pass, replay-identical.
+
+        ``mult`` maps item -> number of arrivals in the run; items not yet
+        monitored are added fresh (the caller guarantees capacity for
+        them).  ``last`` maps item -> the arrival index of the item's
+        final occurrence within the run.
+
+        Replaying the run per event attaches a node at the head of its
+        bucket on every increment, so afterwards each bucket holds its
+        touched nodes in descending last-occurrence order, ahead of any
+        untouched nodes.  Reproducing that order exactly matters because
+        :meth:`replace_min` evicts the *head* of the minimum bucket, so
+        intra-bucket order decides future evictions.  We detach every
+        touched node, bump counts wholesale, then re-attach in ascending
+        ``(final count, last occurrence)`` order with a single forward
+        walk of the bucket list — head-attachment makes the largest
+        last-occurrence end up at each bucket's head.
+        """
+        nodes = self._nodes
+        touched = []
+        for item, arrivals in mult.items():
+            node = nodes.get(item)
+            if node is not None:
+                self._detach(node)
+                node.count += arrivals
+            else:
+                node = _Node(item, arrivals, 0)
+                nodes[item] = node
+            touched.append((node.count, last[item], node))
+        touched.sort()
+        prev = None
+        bucket = self._min_bucket
+        for count, _, node in touched:
+            while bucket is not None and bucket.count < count:
+                prev, bucket = bucket, bucket.next
+            if bucket is None or bucket.count != count:
+                created = _Bucket(count)
+                created.prev = prev
+                created.next = bucket
+                if prev is None:
+                    self._min_bucket = created
+                else:
+                    prev.next = created
+                if bucket is not None:
+                    bucket.prev = created
+                bucket = created
+            self._attach(node, bucket)
+
     # ------------------------------------------------------------- iteration
     def items(self) -> Iterator[Tuple[int, int]]:
         """Yield ``(item, count)`` in non-decreasing count order."""

@@ -145,7 +145,11 @@ class TestMetricsOut:
         assert code == 0
         assert not obs.is_enabled()  # flag restored on the way out
         snapshot = obs.export.load_json_snapshot(path)
-        values = {m["name"]: m["value"] for m in snapshot["metrics"]}
+        values = {
+            m["name"]: m["value"]
+            for m in snapshot["metrics"]
+            if m["type"] == "counter"
+        }
         assert values["ltc_inserts_total"] == 4_000
 
     def test_stats_table(self, tmp_path, capsys):

@@ -82,6 +82,83 @@ class TestBasics:
         assert len(heap) == 2
 
 
+class TestStaleAndDuplicateOffers:
+    """Re-offers of tracked items — rising, falling, and repeated values.
+
+    The batched fast paths skip offers that provably cannot change the
+    heap (full heap, untracked item, value ≤ current min); these tests
+    pin the offer semantics that proof rests on.
+    """
+
+    def test_duplicate_offer_same_value_is_noop(self):
+        heap = TopKHeap(3)
+        heap.offer(1, 5.0)
+        heap.offer(2, 7.0)
+        before = (list(heap._items), list(heap._values), dict(heap._pos))
+        heap.offer(1, 5.0)
+        assert (list(heap._items), list(heap._values), dict(heap._pos)) == before
+        assert heap.check_invariant()
+
+    def test_rising_estimates_update_in_place(self):
+        heap = TopKHeap(3)
+        for value in (1.0, 2.0, 3.0, 10.0):
+            heap.offer(4, value)
+            assert heap.check_invariant()
+        assert heap.value_of(4) == 10.0
+        assert len(heap) == 1
+
+    def test_falling_estimate_of_tracked_item_sticks(self):
+        """A tracked item's value may fall (CU/Count estimates are not
+        monotone per-item); the heap must accept it and restore order."""
+        heap = TopKHeap(3)
+        heap.offer(1, 9.0)
+        heap.offer(2, 6.0)
+        heap.offer(3, 8.0)
+        heap.offer(1, 2.0)
+        assert heap.value_of(1) == 2.0
+        assert heap.min_value() == 2.0
+        assert heap.check_invariant()
+
+    def test_tracked_item_below_min_still_updates_when_full(self):
+        """The batch skip must never drop offers for *tracked* items:
+        even a value at/below the current min updates the entry."""
+        heap = TopKHeap(2)
+        heap.offer(1, 5.0)
+        heap.offer(2, 9.0)
+        assert heap.min_value() == 5.0
+        heap.offer(1, 1.0)  # tracked, value below old min
+        assert heap.value_of(1) == 1.0
+        assert heap.min_value() == 1.0
+        assert heap.check_invariant()
+
+    def test_untracked_at_exact_min_rejected_when_full(self):
+        """``value <= min`` (not ``<``) is the no-op boundary the skip
+        relies on: an untracked offer tying the min is dropped."""
+        heap = TopKHeap(2)
+        heap.offer(1, 5.0)
+        heap.offer(2, 9.0)
+        heap.offer(3, 5.0)
+        assert 3 not in heap
+        assert 1 in heap
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.floats(0.0, 50.0, allow_nan=False)),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_interleaved_rise_and_fall_keeps_invariant(self, offers):
+        heap = TopKHeap(4)
+        last: dict = {}
+        for item, value in offers:
+            heap.offer(item, value)
+            last[item] = value
+            assert heap.check_invariant()
+        for item in heap._pos:
+            assert heap.value_of(item) == last[item]
+
+
 class TestAgainstReference:
     """The heap must track exactly the top-k of a monotone estimate stream."""
 

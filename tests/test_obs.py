@@ -208,7 +208,9 @@ class TestInstrumentedLTC:
         reg = obs.enable()
         self.drive(LTC, events)
         values = {
-            m["name"]: m["value"] for m in reg.snapshot()["metrics"]
+            m["name"]: m["value"]
+            for m in reg.snapshot()["metrics"]
+            if m["type"] == "counter"
         }
         assert values["ltc_inserts_total"] == len(events)
         # 9 distinct items over 4 cells: the table must have evicted and
@@ -222,14 +224,22 @@ class TestInstrumentedLTC:
         events = [i % 9 for i in range(400)]
         reg_ref = obs.enable()
         self.drive(LTC, events)
-        ref = {m["name"]: m["value"] for m in reg_ref.snapshot()["metrics"]}
+        ref = {
+            m["name"]: m["value"]
+            for m in reg_ref.snapshot()["metrics"]
+            if m["type"] == "counter"
+        }
         reg_fast = obs.enable()
         config = LTCConfig(num_buckets=2, bucket_width=2, items_per_period=100)
         fast = FastLTC(config)
         stream = make_stream(events, num_periods=4)
         stream.run(fast, batched=True)
         fast.finalize()
-        fastv = {m["name"]: m["value"] for m in reg_fast.snapshot()["metrics"]}
+        fastv = {
+            m["name"]: m["value"]
+            for m in reg_fast.snapshot()["metrics"]
+            if m["type"] == "counter"
+        }
         assert fastv == ref
 
     def test_insert_timed_counts_inserts(self):
@@ -237,7 +247,11 @@ class TestInstrumentedLTC:
         ltc = LTC(LTCConfig(num_buckets=2, bucket_width=2, items_per_period=4))
         for t in range(10):
             ltc.insert_timed(t % 3, float(t), period_seconds=2.0)
-        values = {m["name"]: m["value"] for m in reg.snapshot()["metrics"]}
+        values = {
+            m["name"]: m["value"]
+            for m in reg.snapshot()["metrics"]
+            if m["type"] == "counter"
+        }
         assert values["ltc_inserts_total"] == 10
 
     def test_disabled_structures_carry_no_registry(self):
@@ -334,6 +348,109 @@ class TestInstrumentedDistributed:
         }
         assert values["coordinator_worker_crashes_total"] >= 1
         assert values["coordinator_worker_retries_total"] >= 1
+
+
+class TestBatchSizeHistogram:
+    """PR-4 batch paths record items-per-insert_many, labelled by class."""
+
+    def test_helper_returns_none_when_disabled(self):
+        obs.disable()
+        assert obs.batch_size_histogram("SpaceSaving") is None
+
+    def test_insert_many_lands_in_histogram(self):
+        from repro.summaries.space_saving import SpaceSaving
+
+        reg = obs.enable()
+        ss = SpaceSaving(capacity=16)  # built *after* enable: captures it
+        ss.insert_many([1, 2, 3, 1])
+        ss.insert_many([5] * 10)
+        ss.insert_many([], counts=[])
+        h = reg.histogram(
+            "summary_insert_many_batch_size",
+            buckets=obs.DEFAULT_BATCH_SIZE_BUCKETS,
+            labels={"summary": "SpaceSaving"},
+        )
+        assert h.count == 3
+        assert h.sum == 4 + 10 + 0
+
+    def test_counts_weighting_observes_expanded_total(self):
+        from repro.summaries.frequent import Frequent
+
+        reg = obs.enable()
+        freq = Frequent(capacity=8)
+        freq.insert_many([1, 2], counts=[3, 4])
+        h = reg.histogram(
+            "summary_insert_many_batch_size",
+            buckets=obs.DEFAULT_BATCH_SIZE_BUCKETS,
+            labels={"summary": "Frequent"},
+        )
+        assert h.count == 1
+        assert h.sum == 7
+
+    def test_every_family_labels_its_own_series(self):
+        from repro.experiments.configs import (
+            default_algorithms_frequent,
+            default_algorithms_persistent,
+        )
+        from repro.metrics.memory import MemoryBudget, kb
+        from repro.streams.synthetic import zipf_stream
+
+        stream = zipf_stream(
+            num_events=1_000, num_distinct=200, skew=1.0, num_periods=2, seed=4
+        )
+        budget = MemoryBudget(kb(4))
+        factories = {}
+        factories.update(default_algorithms_frequent(budget, stream, 10))
+        factories.update(default_algorithms_persistent(budget, stream, 10))
+        reg = obs.enable()
+        for factory in factories.values():
+            stream.run(factory(), batched=True)
+        labels = {
+            m["labels"]["summary"]
+            for m in reg.snapshot()["metrics"]
+            if m["name"] == "summary_insert_many_batch_size"
+        }
+        # One series per instrumented class in the line-ups.
+        assert {
+            "LTC",
+            "SpaceSaving",
+            "Frequent",
+            "LossyCounting",
+            "SketchTopK",
+            "PIE",
+            "SketchPersistent",
+        } <= labels
+        # Shared classes (the three SketchTopK/SketchPersistent variants)
+        # pool into one series, so counts are a positive multiple of the
+        # period count — one observation per whole-period batch.
+        for m in reg.snapshot()["metrics"]:
+            if m["name"] == "summary_insert_many_batch_size":
+                assert m["count"] > 0
+                assert m["count"] % stream.num_periods == 0
+
+    def test_metrics_do_not_change_batched_results(self):
+        """Headline guarantee extended to the batch paths: metrics-on
+        batched ingestion produces bit-identical summaries."""
+        from repro.summaries.lossy_counting import LossyCounting
+        from repro.summaries.space_saving import SpaceSaving
+        from repro.streams.synthetic import zipf_stream
+
+        stream = zipf_stream(
+            num_events=2_000, num_distinct=300, skew=1.0, num_periods=4, seed=9
+        )
+        for factory in (
+            lambda: SpaceSaving(capacity=64),
+            lambda: LossyCounting(capacity=64),
+        ):
+            obs.disable()
+            plain = factory()
+            stream.run(plain, batched=True)
+            obs.enable()
+            metered = factory()
+            stream.run(metered, batched=True)
+            obs.disable()
+            assert plain.reported_pairs(32) == metered.reported_pairs(32)
+            assert vars(plain).keys() == vars(metered).keys()
 
 
 class TestInstrumentedRunner:

@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import copy
+import random
+
+import pytest
+
 from repro.metrics.memory import MemoryBudget, kb
 from repro.sketches.count_min import CountMinSketch
+from repro.sketches.count_sketch import CountSketch
 from repro.sketches.cu import CUSketch
 from repro.sketches.topk import SketchTopK
 
@@ -39,3 +45,58 @@ class TestTopK:
         topk = SketchTopK.from_memory(CUSketch, MemoryBudget(kb(8)), k=50)
         assert topk.heap.capacity == 50
         assert topk.sketch.width >= 1
+
+
+class TestHeapFloorSkip:
+    """``insert`` skips ``heap.offer`` when the estimate provably cannot
+    change a full heap (untracked item, estimate ≤ current min).  The
+    skip must be invisible: heap state stays identical to an
+    always-offer reference on any workload."""
+
+    @pytest.mark.parametrize(
+        "sketch_cls",
+        [CountMinSketch, CUSketch, CountSketch],
+        ids=["CM", "CU", "Count"],
+    )
+    def test_skip_matches_always_offer_reference(self, sketch_cls):
+        rng = random.Random(31)
+        events = [rng.randrange(200) for _ in range(5_000)]
+        # Tiny heap on a wide distribution: the skip fires constantly.
+        topk = SketchTopK(sketch_cls(width=64, rows=3), k=8)
+        reference = SketchTopK(sketch_cls(width=64, rows=3), k=8)
+        for item in events:
+            topk.insert(item)
+            # Reference path: same sketch update, unconditional offer.
+            estimate = float(reference.sketch.update_and_query(item))
+            reference.heap.offer(item, estimate)
+        assert topk.sketch._tables == reference.sketch._tables
+        assert list(topk.heap._items) == list(reference.heap._items)
+        assert list(topk.heap._values) == list(reference.heap._values)
+        assert topk.heap._pos == reference.heap._pos
+
+    def test_skip_fires_on_adversarial_tail(self):
+        """After the heap fills with heavy items, a burst of singletons
+        must leave the heap untouched (the skip path, by construction)."""
+        topk = SketchTopK(CountMinSketch(width=1 << 12, rows=3), k=4)
+        for item in range(4):
+            for _ in range(50):
+                topk.insert(item)
+        before = copy.deepcopy(
+            (topk.heap._items, topk.heap._values, topk.heap._pos)
+        )
+        for item in range(1_000, 1_200):  # 200 distinct singletons
+            topk.insert(item)
+        after = (topk.heap._items, topk.heap._values, topk.heap._pos)
+        assert after == before
+
+    def test_tracked_item_is_never_skipped(self):
+        """A tracked item's re-offer must go through even when its
+        estimate equals the heap minimum."""
+        topk = SketchTopK(CountMinSketch(width=1 << 12, rows=3), k=2)
+        topk.insert(7)
+        topk.insert(8)
+        # Heap full with values {1, 1}; item 7's next estimate (2) beats
+        # the min, and the *tracked* check is what lets it through when
+        # values tie later in mixed workloads.
+        topk.insert(7)
+        assert topk.heap.value_of(7) == 2.0
