@@ -27,7 +27,7 @@ class ClockPointer:
         items_per_period: Count-based period length ``n``.
     """
 
-    def __init__(self, num_cells: int, items_per_period: int):
+    def __init__(self, num_cells: int, items_per_period: int) -> None:
         if num_cells < 1:
             raise ValueError("num_cells must be >= 1")
         if items_per_period < 1:

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.metrics.memory import MemoryBudget
 
@@ -30,6 +31,13 @@ class LTCConfig:
             replaces the minimum cell and inherits its value + 1 (the
             Space-Saving strategy the paper argues against, §I-C).
         seed: Bucket-hash seed.
+        sanitize: Install the runtime invariant checker
+            (:mod:`repro.sanitize`) on the built structure.  Debug mode:
+            every mutation is validated and violations raise
+            :class:`repro.sanitize.SanitizeError` at the mutation site.
+            Also enabled globally by ``REPRO_SANITIZE=1``.  Excluded from
+            config equality/merge compatibility — a sanitized structure
+            checkpoints and merges like an unsanitized one.
     """
 
     num_buckets: int
@@ -41,6 +49,7 @@ class LTCConfig:
     longtail_replacement: bool = True
     replacement_policy: "str | None" = None
     seed: int = 0x17C
+    sanitize: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_buckets < 1:
@@ -88,7 +97,7 @@ class LTCConfig:
         bucket_width: int = 8,
         alpha: float = 1.0,
         beta: float = 1.0,
-        **kwargs,
+        **kwargs: Any,
     ) -> "LTCConfig":
         """Size the table for a byte budget (12 bytes per cell, §V-C)."""
         return cls(
@@ -100,6 +109,6 @@ class LTCConfig:
             **kwargs,
         )
 
-    def with_options(self, **changes) -> "LTCConfig":
+    def with_options(self, **changes: Any) -> "LTCConfig":
         """A copy with the given fields replaced (ablation helper)."""
         return replace(self, **changes)

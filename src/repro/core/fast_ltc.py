@@ -16,7 +16,7 @@ reference class and only throughput measurements use this one.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.core.config import LTCConfig
 from repro.core.ltc import LTC
@@ -33,7 +33,7 @@ class FastLTC(LTC):
     test suite.
     """
 
-    def __init__(self, config: LTCConfig):
+    def __init__(self, config: LTCConfig) -> None:
         super().__init__(config)
         self._slot_of: Dict[int, int] = {}
 
@@ -45,7 +45,9 @@ class FastLTC(LTC):
             return
         self._place_miss(item)
 
-    def insert_many(self, items, counts=None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals with the hit path inlined into the chunk loop.
 
         Chunking mirrors ``LTC.insert_many`` (harvests land at the same
@@ -145,6 +147,17 @@ class FastLTC(LTC):
             self._m_decrements.inc()
         if counters[jmin] > 0:
             counters[jmin] -= 1
+        elif freqs[jmin] > 0:
+            # Mirror of LTC._decrement_smallest: charge the decrement to
+            # the oldest pending flag when the counter is empty and the
+            # flags cover the whole post-decrement frequency, so a later
+            # harvest can never leave persistency > frequency.
+            bits = self._flags[jmin]
+            if (bits & 1) + (bits >> 1 & 1) >= freqs[jmin]:
+                if bits & self._harvest_bit:
+                    self._flags[jmin] = bits & ~self._harvest_bit & 0xFF
+                else:
+                    self._flags[jmin] = bits & ~self._set_bit & 0xFF
         if freqs[jmin] > 0:
             freqs[jmin] -= 1
         if alpha * freqs[jmin] + beta * counters[jmin] > 0:
@@ -166,7 +179,7 @@ class FastLTC(LTC):
         self._flags[jmin] = self._set_bit
         self._slot_of[item] = jmin
 
-    def estimate(self, item: int):
+    def estimate(self, item: int) -> Tuple[int, int]:
         """Estimated ``(frequency, persistency)`` of ``item`` via the index."""
         slot = self._slot_of.get(item)
         if slot is None:

@@ -20,9 +20,9 @@ cells keeps only items with high potential significance:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro import obs
+from repro import obs, sanitize
 from repro.core.cell import CellView
 from repro.core.clock import ClockPointer
 from repro.core.config import LTCConfig
@@ -44,7 +44,7 @@ class LTC(StreamSummary):
         config: Structure parameters; see :class:`repro.core.config.LTCConfig`.
     """
 
-    def __init__(self, config: LTCConfig):
+    def __init__(self, config: LTCConfig) -> None:
         self.config = config
         w, d = config.num_buckets, config.bucket_width
         m = w * d
@@ -90,6 +90,11 @@ class LTC(StreamSummary):
                 "CLOCK flag harvests folded into persistency counters",
             )
         self._m_batch = obs.batch_size_histogram(type(self).__name__)
+        # Debug-mode invariant checking: wrappers are installed on the
+        # *instance* only when requested, so the disabled hot paths stay
+        # the plain class functions (zero cost, not even a flag branch).
+        if config.sanitize or sanitize.env_enabled():
+            sanitize.install_ltc(self)
 
     @classmethod
     def from_memory(
@@ -99,7 +104,7 @@ class LTC(StreamSummary):
         bucket_width: int = 8,
         alpha: float = 1.0,
         beta: float = 1.0,
-        **kwargs,
+        **kwargs: Any,
     ) -> "LTC":
         """Build an LTC sized for a byte budget (12 bytes/cell, §V-C)."""
         return cls(
@@ -122,7 +127,9 @@ class LTC(StreamSummary):
         for slot in self._clock.on_arrival():
             self._harvest(slot)
 
-    def insert_many(self, items, counts=None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Process a batch of arrivals (count-based CLOCK advancement).
 
         Equivalent to ``insert`` per item, cell for cell: arrivals that
@@ -239,6 +246,20 @@ class LTC(StreamSummary):
             self._m_decrements.inc()
         if counters[jmin] > 0:  # Persistency never goes negative (§III-B).
             counters[jmin] -= 1
+        elif freqs[jmin] > 0:
+            # The persistency counter is empty, but the cell may still hold
+            # persistency credit in un-harvested flags (up to two with the
+            # Deviation Eliminator).  If those flags cover at least the
+            # whole post-decrement frequency, a later harvest would leave
+            # persistency > frequency — impossible for the true statistics
+            # (§III: a period counted by persistency contains ≥ 1 arrival).
+            # Charge the decrement to the oldest pending flag instead.
+            bits = self._flags[jmin]
+            if (bits & 1) + (bits >> 1 & 1) >= freqs[jmin]:
+                if bits & self._harvest_bit:
+                    self._flags[jmin] = bits & ~self._harvest_bit & 0xFF
+                else:
+                    self._flags[jmin] = bits & ~self._set_bit & 0xFF
         if freqs[jmin] > 0:
             freqs[jmin] -= 1
         if alpha * freqs[jmin] + beta * counters[jmin] > 0:
@@ -275,7 +296,11 @@ class LTC(StreamSummary):
             if c2 is None or self._counters[j] < c2:
                 c2 = self._counters[j]
         assert f2 is not None and c2 is not None
-        return max(f2 - 1, 1), max(c2 - 1, 0)
+        f0 = max(f2 - 1, 1)
+        # The newcomer's set flag is one period of future persistency
+        # credit, so seed the counter no higher than f0 - 1 or the next
+        # harvest would push persistency past frequency.
+        return f0, min(max(c2 - 1, 0), f0 - 1)
 
     # ----------------------------------------------------------- persistency
     def _harvest(self, slot: int) -> None:

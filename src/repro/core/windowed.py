@@ -22,11 +22,12 @@ W bits replace the 32-bit counter + flags, so W ≤ 32 keeps the paper's
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs, sanitize
 from repro.hashing.family import splitmix64
 from repro.metrics.memory import MemoryBudget
-from repro.summaries.base import ItemReport, StreamSummary
+from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 
 
 def _popcount(x: int) -> int:
@@ -58,7 +59,7 @@ class WindowedLTC(StreamSummary):
         beta: float = 1.0,
         decay: Optional[float] = None,
         seed: int = 0x17C,
-    ):
+    ) -> None:
         if num_buckets < 1 or bucket_width < 1:
             raise ValueError("num_buckets and bucket_width must be >= 1")
         if not 1 <= window <= 32:
@@ -79,10 +80,13 @@ class WindowedLTC(StreamSummary):
         self._freqs: List[float] = [0.0] * m
         self._rings: List[int] = [0] * m
         self._ring_mask = (1 << window) - 1
+        self._m_batch = obs.batch_size_histogram(type(self).__name__)
+        if sanitize.env_enabled():
+            sanitize.install_windowed(self)
 
     @classmethod
     def from_memory(
-        cls, budget: MemoryBudget, window: int, bucket_width: int = 8, **kwargs
+        cls, budget: MemoryBudget, window: int, bucket_width: int = 8, **kwargs: Any
     ) -> "WindowedLTC":
         """Size for a byte budget (12 bytes/cell as in the base LTC)."""
         return cls(
@@ -128,6 +132,52 @@ class WindowedLTC(StreamSummary):
             keys[jmin] = item
             self._freqs[jmin] = 1.0
             self._rings[jmin] = 1
+
+    def _slot(self, item: int) -> int:
+        """Cell index currently tracking ``item``, or −1."""
+        d = self.bucket_width
+        base = (splitmix64(item ^ self._seed) % self.num_buckets) * d
+        keys = self._keys
+        for j in range(base, base + d):
+            if keys[j] == item:
+                return j
+        return -1
+
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
+        """Batched arrivals, replay-identical to per-event :meth:`insert`.
+
+        Consecutive duplicates fold: as soon as one arrival of a run
+        lands the item in its bucket, every remaining copy is a pure
+        hit — frequency += 1 with the period-presence bit already set —
+        so the tail collapses to a single float addition.  Only the
+        order-sensitive arrivals (misses that trigger the windowed
+        significance decrement) are replayed singly.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        elif not isinstance(items, (list, tuple)):
+            items = list(items)
+        total = len(items)
+        if self._m_batch is not None:
+            self._m_batch.observe(total)
+        insert = self.insert
+        freqs = self._freqs
+        i = 0
+        while i < total:
+            item = items[i]
+            run = i + 1
+            while run < total and items[run] == item:
+                run += 1
+            while i < run:
+                insert(item)
+                i += 1
+                if i < run:
+                    j = self._slot(item)
+                    if j >= 0:
+                        freqs[j] += float(run - i)
+                        i = run
 
     def end_period(self) -> None:
         """Shift the window: age rings, decay frequencies, drop dead cells.

@@ -10,7 +10,7 @@ hash-agnostic (see ``tests/test_hash_agnostic.py``), so swapping in
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Callable, Hashable, Iterable
 
 try:  # numpy accelerates batch updates; everything degrades to loops without it.
     import numpy as _np
@@ -33,7 +33,7 @@ def splitmix64(x: int) -> int:
     return (x ^ (x >> 31)) & _MASK64
 
 
-def splitmix64_array(keys):
+def splitmix64_array(keys: Any) -> Any:
     """Vectorised :func:`splitmix64` over a ``uint64`` numpy array.
 
     Bit-for-bit identical to the scalar function per element (uint64
@@ -51,7 +51,7 @@ def numpy_available() -> bool:
     return _np is not None
 
 
-def as_key_array(keys):
+def as_key_array(keys: Any) -> Any:
     """Canonicalise a batch of integer keys to a ``uint64`` numpy array.
 
     Matches the scalar paths' implicit masking: ``splitmix64`` masks its
@@ -73,7 +73,7 @@ def fnv1a64(data: bytes) -> int:
     return h
 
 
-def canonical_key(item) -> int:
+def canonical_key(item: Hashable) -> int:
     """Reduce an item identifier to a canonical 64-bit integer key.
 
     Streams in this library carry integer item identifiers natively (IPs,
@@ -99,7 +99,7 @@ class HashFamily:
     they consume.
     """
 
-    def __init__(self, seed: int = 0x5EED):
+    def __init__(self, seed: int = 0x5EED) -> None:
         self.seed = seed & _MASK64
         self._member_seeds: list[int] = []
 
@@ -126,12 +126,12 @@ class HashFamily:
         """Return a ±1 sign for ``key`` (used by the Count sketch)."""
         return 1 if self.hash(index, key) & 1 else -1
 
-    def member(self, index: int):
+    def member(self, index: int) -> Callable[[int], int]:
         """Return member ``index`` as a standalone ``key -> int`` callable."""
         seed = self._seed_for(index)
         return lambda key: splitmix64(key ^ seed)
 
-    def hash_array(self, index: int, keys):
+    def hash_array(self, index: int, keys: Any) -> Any:
         """Vectorised :meth:`hash` over a ``uint64`` numpy array of keys.
 
         Element-for-element equal to ``member(index)`` applied per key.

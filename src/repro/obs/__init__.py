@@ -104,9 +104,10 @@ def batch_size_histogram(summary: str) -> Optional[Histogram]:
     store the result once and guard the hot path with ``is not None``,
     matching the null-registry strategy used by LTC.
     """
-    if not _active.enabled:
+    active = _active
+    if isinstance(active, NullRegistry) or not active.enabled:
         return None
-    return _active.histogram(
+    return active.histogram(
         "summary_insert_many_batch_size",
         "Items per insert_many call, by summary class",
         buckets=DEFAULT_BATCH_SIZE_BUCKETS,

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import json
 import time
-from typing import List, Tuple, Union
+from os import PathLike
+from typing import Any, Dict, List, Mapping, Tuple, Union
 
 from repro.obs.registry import MetricsRegistry, NullRegistry
 
-Snapshot = dict
+Snapshot = Dict[str, Any]
+_Path = Union[str, "PathLike[str]"]
 _RegistryOrSnapshot = Union[MetricsRegistry, NullRegistry, Snapshot]
 
 
@@ -33,7 +35,9 @@ def _escape_label_value(value: str) -> str:
     )
 
 
-def _label_str(labels: dict, extra: "Tuple[Tuple[str, str], ...]" = ()) -> str:
+def _label_str(
+    labels: Mapping[str, str], extra: "Tuple[Tuple[str, str], ...]" = ()
+) -> str:
     pairs = [
         (str(k), _escape_label_value(v)) for k, v in sorted(labels.items())
     ] + list(extra)
@@ -89,7 +93,7 @@ def prometheus_text(source: _RegistryOrSnapshot) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_json_snapshot(source: _RegistryOrSnapshot, path) -> Snapshot:
+def write_json_snapshot(source: _RegistryOrSnapshot, path: _Path) -> Snapshot:
     """Write a timestamped JSON snapshot to ``path`` and return it."""
     snapshot = dict(_as_snapshot(source))
     snapshot.setdefault(
@@ -101,7 +105,7 @@ def write_json_snapshot(source: _RegistryOrSnapshot, path) -> Snapshot:
     return snapshot
 
 
-def load_json_snapshot(path) -> Snapshot:
+def load_json_snapshot(path: _Path) -> Snapshot:
     """Read a snapshot previously written by :func:`write_json_snapshot`."""
     with open(path, "r", encoding="utf-8") as fh:
         snapshot = json.load(fh)

@@ -23,7 +23,7 @@ strategy").
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Type, TypeVar, Union
 
 LabelsArg = Optional[Mapping[str, str]]
 _LabelsKey = Tuple[Tuple[str, str], ...]
@@ -55,7 +55,7 @@ class Counter:
     __slots__ = ("name", "help", "labels", "value")
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "", labels: _LabelsKey = ()):
+    def __init__(self, name: str, help: str = "", labels: _LabelsKey = ()) -> None:
         self.name = name
         self.help = help
         self.labels = labels
@@ -67,7 +67,7 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += amount
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "type": self.kind,
@@ -83,7 +83,7 @@ class Gauge:
     __slots__ = ("name", "help", "labels", "value")
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "", labels: _LabelsKey = ()):
+    def __init__(self, name: str, help: str = "", labels: _LabelsKey = ()) -> None:
         self.name = name
         self.help = help
         self.labels = labels
@@ -101,7 +101,7 @@ class Gauge:
         """Subtract ``amount``."""
         self.value -= amount
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "type": self.kind,
@@ -131,7 +131,7 @@ class Histogram:
         help: str = "",
         buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
         labels: _LabelsKey = (),
-    ):
+    ) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("histogram needs at least one bucket boundary")
@@ -161,7 +161,7 @@ class Histogram:
         out.append((float("inf"), running + self.counts[-1]))
         return out
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "type": self.kind,
@@ -176,6 +176,10 @@ class Histogram:
         }
 
 
+_Metric = Union[Counter, Gauge, Histogram]
+_M = TypeVar("_M", Counter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """Get-or-create store of metrics keyed by ``(name, labels)``.
 
@@ -187,14 +191,16 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
-        self._metrics: Dict[Tuple[str, _LabelsKey], object] = {}
+        self._metrics: Dict[Tuple[str, _LabelsKey], _Metric] = {}
         self._kinds: Dict[str, str] = {}
 
-    def _get(self, cls, name: str, help: str, labels: LabelsArg, **kwargs):
+    def _get(
+        self, cls: Type[_M], name: str, help: str, labels: LabelsArg, **kwargs: Any
+    ) -> _M:
         key = (name, _labels_key(labels))
         metric = self._metrics.get(key)
         if metric is not None:
-            if metric.kind != cls.kind:
+            if metric.kind != cls.kind or not isinstance(metric, cls):
                 raise ValueError(
                     f"metric {name!r} already registered as {metric.kind}"
                 )
@@ -227,7 +233,7 @@ class MetricsRegistry:
         """Get or create a histogram (boundaries fixed on first creation)."""
         return self._get(Histogram, name, help, labels, buckets=buckets)
 
-    def metrics(self) -> List[object]:
+    def metrics(self) -> List[_Metric]:
         """Every registered metric, sorted by ``(name, labels)``.
 
         Natural tuple ordering puts the unlabeled series (empty labels
@@ -236,7 +242,7 @@ class MetricsRegistry:
         """
         return [self._metrics[key] for key in sorted(self._metrics)]
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """JSON-safe snapshot of every metric (the exporters' input)."""
         return {"metrics": [m.to_dict() for m in self.metrics()]}
 
@@ -267,11 +273,15 @@ class NullRegistry:
 
     enabled = False
 
-    def counter(self, name: str, help: str = "", labels: LabelsArg = None):
+    def counter(
+        self, name: str, help: str = "", labels: LabelsArg = None
+    ) -> _NullMetric:
         """Return the shared no-op metric."""
         return _NULL_METRIC
 
-    def gauge(self, name: str, help: str = "", labels: LabelsArg = None):
+    def gauge(
+        self, name: str, help: str = "", labels: LabelsArg = None
+    ) -> _NullMetric:
         """Return the shared no-op metric."""
         return _NULL_METRIC
 
@@ -281,14 +291,14 @@ class NullRegistry:
         help: str = "",
         buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
         labels: LabelsArg = None,
-    ):
+    ) -> _NullMetric:
         """Return the shared no-op metric."""
         return _NULL_METRIC
 
-    def metrics(self) -> List[object]:
+    def metrics(self) -> List[_Metric]:
         """Always empty."""
         return []
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """Always empty."""
         return {"metrics": []}

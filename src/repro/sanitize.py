@@ -1,0 +1,501 @@
+"""repro.sanitize — opt-in runtime invariant checking (debug mode).
+
+The library's structures are bound by structural contracts that normally
+only differential tests enforce after the fact: a cell's persistency can
+never exceed its frequency (paper §III — every period counted by
+persistency contains at least one arrival), CLOCK flags stay in their
+two-bit domain, the top-k heap keeps the heap property, and Space-Saving
+buckets stay strictly count-ordered.  This module checks those contracts
+*at the mutation site* so a violation produces a precise repro message
+instead of a distant assertion failure.
+
+Enabling (both are read at **construction** time):
+
+* environment: ``REPRO_SANITIZE=1`` turns sanitization on for every
+  structure built afterwards (the nightly CI hypothesis profile runs the
+  suites this way);
+* per instance: ``LTCConfig(sanitize=True)`` for the LTC family.
+
+When disabled (the default) nothing is installed — the public mutators
+remain the plain class functions, so the hot paths carry **zero** extra
+cost (no wrapper, no flag branch).  When enabled, the mutators are
+wrapped per instance:
+
+* ``insert`` / ``insert_timed`` validate the touched bucket plus the
+  slots the CLOCK hand just swept (O(d + harvested) per arrival);
+* ``insert_many`` validates the full table once per batch;
+* ``end_period`` / ``finalize`` validate the full table, and
+  ``end_period`` additionally proves checkpoint round-trip stability
+  (``to_bytes → from_bytes → to_bytes`` must be byte-identical).
+
+Every failure raises :class:`SanitizeError` naming the failing invariant
+and the exact cell/slot involved.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.ltc import LTC
+    from repro.core.windowed import WindowedLTC
+    from repro.summaries.heap import TopKHeap
+    from repro.summaries.space_saving import SpaceSaving
+    from repro.summaries.stream_summary import StreamSummaryList
+
+__all__ = [
+    "SanitizeError",
+    "env_enabled",
+    "check_ltc",
+    "check_ltc_bucket",
+    "check_ltc_checkpoint",
+    "check_windowed",
+    "check_heap",
+    "check_stream_summary_list",
+    "check_space_saving",
+    "install_ltc",
+    "install_windowed",
+    "install_heap",
+    "install_space_saving",
+]
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class SanitizeError(AssertionError):
+    """A structural invariant was violated.
+
+    Attributes:
+        structure: Class name of the offending structure.
+        invariant: Short machine-readable name of the violated invariant
+            (e.g. ``persistency_le_frequency``).
+        detail: Human-readable description with the offending values.
+    """
+
+    def __init__(self, structure: str, invariant: str, detail: str) -> None:
+        self.structure = structure
+        self.invariant = invariant
+        self.detail = detail
+        super().__init__(f"{structure}: invariant '{invariant}' violated: {detail}")
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests sanitization (read per call)."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in _TRUTHY
+
+
+def _fail(structure: Any, invariant: str, detail: str) -> None:
+    name = structure if isinstance(structure, str) else type(structure).__name__
+    raise SanitizeError(name, invariant, detail)
+
+
+# --------------------------------------------------------------------- LTC
+def _check_ltc_cell(ltc: "LTC", j: int, strong: bool) -> None:
+    bits = ltc._flags[j]
+    if bits & ~0b11:
+        _fail(ltc, "flag_domain", f"cell {j} carries flag bits {bits:#x} > 0b11")
+    if not ltc._de and bits & 0b10:
+        _fail(
+            ltc,
+            "flag_domain",
+            f"cell {j} has the odd-parity flag set without the Deviation "
+            f"Eliminator (flags={bits:#x})",
+        )
+    freq = ltc._freqs[j]
+    counter = ltc._counters[j]
+    if ltc._keys[j] is None:
+        if freq or counter or bits:
+            _fail(
+                ltc,
+                "empty_cell_zeroed",
+                f"empty cell {j} holds freq={freq} counter={counter} "
+                f"flags={bits:#x}",
+            )
+        return
+    if freq < 0:
+        _fail(ltc, "frequency_non_negative", f"cell {j} has frequency {freq}")
+    if counter < 0:
+        _fail(ltc, "persistency_non_negative", f"cell {j} has persistency {counter}")
+    if strong:
+        pending = (bits & 1) + (bits >> 1 & 1)
+        if counter + pending > freq:
+            _fail(
+                ltc,
+                "persistency_le_frequency",
+                f"cell {j} (item {ltc._keys[j]}): persistency {counter} + "
+                f"{pending} pending flag(s) exceeds frequency {freq}",
+            )
+
+
+def _check_ltc_clock(ltc: "LTC") -> None:
+    clock = ltc._clock
+    m = clock.num_cells
+    if not 0 <= clock.hand < m:
+        _fail(ltc, "clock_hand_in_range", f"hand={clock.hand} outside [0, {m})")
+    if not 0 <= clock.scanned_in_period <= m:
+        _fail(
+            ltc,
+            "clock_scan_bound",
+            f"scanned_in_period={clock.scanned_in_period} outside [0, {m}]",
+        )
+    if not 0 <= clock._acc < clock.items_per_period:
+        _fail(
+            ltc,
+            "clock_accumulator_in_range",
+            f"acc={clock._acc} outside [0, {clock.items_per_period})",
+        )
+    if not 0.0 <= clock._facc < 1.0:
+        _fail(ltc, "clock_accumulator_in_range", f"facc={clock._facc} outside [0, 1)")
+    if ltc._parity not in (0, 1):
+        _fail(ltc, "parity_domain", f"parity={ltc._parity}")
+    if ltc._de:
+        if ltc._set_bit != 1 << ltc._parity or ltc._harvest_bit != 1 << (
+            ltc._parity ^ 1
+        ):
+            _fail(
+                ltc,
+                "parity_domain",
+                f"DE bit assignment inconsistent with parity {ltc._parity}: "
+                f"set={ltc._set_bit} harvest={ltc._harvest_bit}",
+            )
+    elif ltc._set_bit != 1 or ltc._harvest_bit != 1:
+        _fail(
+            ltc,
+            "parity_domain",
+            f"basic version must use flag bit 1 (set={ltc._set_bit} "
+            f"harvest={ltc._harvest_bit})",
+        )
+
+
+def _check_ltc_index(ltc: "LTC") -> None:
+    slot_of = getattr(ltc, "_slot_of", None)
+    if slot_of is None:
+        return
+    occupied = {
+        key: j for j, key in enumerate(ltc._keys) if key is not None
+    }
+    if slot_of != occupied:
+        extra = {k: v for k, v in slot_of.items() if occupied.get(k) != v}
+        missing = {k: v for k, v in occupied.items() if slot_of.get(k) != v}
+        _fail(
+            ltc,
+            "index_matches_cells",
+            f"item→slot index diverges from the cell arrays "
+            f"(stale: {extra}, missing: {missing})",
+        )
+
+
+def check_ltc(ltc: "LTC", cells: Optional[Iterable[int]] = None) -> None:
+    """Validate the structural invariants of an LTC (or subclass).
+
+    ``cells`` restricts the scan to the given slot indices; the default
+    checks the whole table, the CLOCK state, and (for FastLTC) the
+    item→slot index.  The ``persistency <= frequency`` check counts
+    un-harvested flags as pending persistency credit, so a decrement that
+    strands excess credit is caught at the mutation site — before the
+    harvest that would materialise the violation.  The check is skipped
+    for the ``space-saving`` ablation policy, which overestimates by
+    design (§I-C).
+    """
+    strong = ltc._policy != "space-saving"
+    if cells is None:
+        for j in range(ltc.total_cells):
+            _check_ltc_cell(ltc, j, strong)
+        _check_ltc_clock(ltc)
+        _check_ltc_index(ltc)
+    else:
+        for j in cells:
+            _check_ltc_cell(ltc, j, strong)
+        _check_ltc_clock(ltc)
+
+
+def check_ltc_bucket(ltc: "LTC", item: int) -> None:
+    """Validate only the bucket that ``item`` hashes to (O(d))."""
+    from repro.hashing.family import splitmix64
+
+    base = (splitmix64(item ^ ltc._seed) % ltc._w) * ltc._d
+    check_ltc(ltc, cells=range(base, base + ltc._d))
+
+
+def check_ltc_checkpoint(ltc: "LTC") -> None:
+    """Prove checkpoint round-trip stability: serialising, restoring and
+    re-serialising must reproduce the byte image exactly."""
+    from repro.core import serialize
+
+    blob = serialize.to_bytes(ltc)
+    restored = serialize.from_bytes(blob, cls=type(ltc))
+    blob2 = serialize.to_bytes(restored)
+    if blob2 != blob:
+        diff = next(
+            (i for i, (a, b) in enumerate(zip(blob, blob2)) if a != b),
+            min(len(blob), len(blob2)),
+        )
+        _fail(
+            ltc,
+            "checkpoint_round_trip",
+            f"to_bytes→from_bytes→to_bytes diverges at byte {diff} "
+            f"(lengths {len(blob)} vs {len(blob2)})",
+        )
+
+
+def install_ltc(ltc: "LTC") -> None:
+    """Wrap the public mutators of ``ltc`` with invariant checks.
+
+    Idempotent.  The wrappers live on the *instance*, so other instances
+    (and the class) keep the unwrapped hot paths.
+    """
+    if getattr(ltc, "_sanitize_installed", False):
+        return
+    ltc._sanitize_installed = True  # type: ignore[attr-defined]
+    orig_insert = ltc.insert
+    orig_insert_many = ltc.insert_many
+    orig_insert_timed = ltc.insert_timed
+    orig_end_period = ltc.end_period
+    orig_finalize = ltc.finalize
+    m = ltc.total_cells
+
+    def _swept_since(start_hand: int, start_scanned: int) -> range:
+        # The hand alone is ambiguous after a full-table sweep (it ends
+        # where it started), so measure via the monotone per-period scan
+        # counter instead.  ltc._clock is re-read on every call because
+        # clear() replaces the ClockPointer instance.
+        swept = min(ltc._clock.scanned_in_period - start_scanned, m)
+        return range(start_hand, start_hand + swept)
+
+    def insert(item: int) -> None:
+        clock = ltc._clock
+        start_hand, start_scanned = clock.hand, clock.scanned_in_period
+        orig_insert(item)
+        check_ltc_bucket(ltc, item)
+        span = _swept_since(start_hand, start_scanned)
+        if len(span):
+            check_ltc(ltc, cells=(j % m for j in span))
+
+    def insert_timed(item: int, timestamp: float, period_seconds: float) -> None:
+        clock = ltc._clock
+        start_hand, start_scanned = clock.hand, clock.scanned_in_period
+        orig_insert_timed(item, timestamp, period_seconds)
+        check_ltc_bucket(ltc, item)
+        span = _swept_since(start_hand, start_scanned)
+        if len(span):
+            check_ltc(ltc, cells=(j % m for j in span))
+
+    def insert_many(items: Any, counts: Any = None) -> None:
+        orig_insert_many(items, counts)
+        check_ltc(ltc)
+
+    def end_period() -> None:
+        orig_end_period()
+        check_ltc(ltc)
+        check_ltc_checkpoint(ltc)
+
+    def finalize() -> None:
+        orig_finalize()
+        check_ltc(ltc)
+
+    ltc.insert = insert  # type: ignore[method-assign]
+    ltc.insert_timed = insert_timed  # type: ignore[method-assign]
+    ltc.insert_many = insert_many  # type: ignore[method-assign]
+    ltc.end_period = end_period  # type: ignore[method-assign]
+    ltc.finalize = finalize  # type: ignore[method-assign]
+
+
+# ------------------------------------------------------------ WindowedLTC
+def check_windowed(wltc: "WindowedLTC") -> None:
+    """Validate a :class:`repro.core.windowed.WindowedLTC`: presence rings
+    stay inside the W-bit window mask, decayed frequencies never go
+    negative, and vacated cells are fully zeroed."""
+    mask = wltc._ring_mask
+    for j in range(len(wltc._keys)):
+        ring = wltc._rings[j]
+        freq = wltc._freqs[j]
+        if ring & ~mask:
+            _fail(
+                wltc,
+                "ring_in_window",
+                f"cell {j} ring {ring:#x} has bits outside the "
+                f"{wltc.window}-period window",
+            )
+        if wltc._keys[j] is None:
+            if freq or ring:
+                _fail(
+                    wltc,
+                    "empty_cell_zeroed",
+                    f"empty cell {j} holds freq={freq} ring={ring:#x}",
+                )
+            continue
+        if freq < 0:
+            _fail(wltc, "frequency_non_negative", f"cell {j} has frequency {freq}")
+
+
+def install_windowed(wltc: "WindowedLTC") -> None:
+    """Wrap the mutators of a WindowedLTC with invariant checks."""
+    if getattr(wltc, "_sanitize_installed", False):
+        return
+    wltc._sanitize_installed = True  # type: ignore[attr-defined]
+    orig_insert = wltc.insert
+    orig_insert_many = wltc.insert_many
+    orig_end_period = wltc.end_period
+
+    def insert(item: int) -> None:
+        orig_insert(item)
+        check_windowed(wltc)
+
+    def insert_many(items: Any, counts: Any = None) -> None:
+        orig_insert_many(items, counts)
+        check_windowed(wltc)
+
+    def end_period() -> None:
+        orig_end_period()
+        check_windowed(wltc)
+
+    wltc.insert = insert  # type: ignore[method-assign]
+    wltc.insert_many = insert_many  # type: ignore[method-assign]
+    wltc.end_period = end_period  # type: ignore[method-assign]
+
+
+# ----------------------------------------------------------------- TopKHeap
+def check_heap(heap: "TopKHeap") -> None:
+    """Validate a :class:`repro.summaries.heap.TopKHeap`: array sizes
+    agree and stay within capacity, every parent is ≤ its children, and
+    the position map matches the arrays exactly."""
+    values, items, pos = heap._values, heap._items, heap._pos
+    if len(values) != len(items):
+        _fail(
+            heap,
+            "array_sizes_agree",
+            f"{len(values)} values vs {len(items)} items",
+        )
+    if len(items) > heap.capacity:
+        _fail(
+            heap,
+            "size_within_capacity",
+            f"{len(items)} entries exceed capacity {heap.capacity}",
+        )
+    for i in range(1, len(items)):
+        parent = (i - 1) >> 1
+        if values[i] < values[parent]:
+            _fail(
+                heap,
+                "heap_property",
+                f"slot {i} (item {items[i]}, value {values[i]}) is smaller "
+                f"than its parent slot {parent} (item {items[parent]}, "
+                f"value {values[parent]})",
+            )
+    if len(pos) != len(items):
+        _fail(
+            heap,
+            "position_map_matches",
+            f"{len(pos)} position entries vs {len(items)} items",
+        )
+    for item, slot in pos.items():
+        if not 0 <= slot < len(items) or items[slot] != item:
+            _fail(
+                heap,
+                "position_map_matches",
+                f"position map sends item {item} to slot {slot}, which "
+                f"holds {items[slot] if 0 <= slot < len(items) else 'nothing'}",
+            )
+
+
+def install_heap(heap: "TopKHeap") -> None:
+    """Wrap :meth:`TopKHeap.offer` with a post-mutation check."""
+    if getattr(heap, "_sanitize_installed", False):
+        return
+    heap._sanitize_installed = True  # type: ignore[attr-defined]
+    orig_offer = heap.offer
+
+    def offer(item: int, value: float) -> None:
+        orig_offer(item, value)
+        check_heap(heap)
+
+    heap.offer = offer  # type: ignore[method-assign]
+
+
+# -------------------------------------------------------------- SpaceSaving
+def check_stream_summary_list(summary: "StreamSummaryList") -> None:
+    """Validate a Stream-Summary: buckets strictly increasing, no empty
+    buckets, every node consistent with its bucket, counts ≥ errors ≥ 0,
+    and the node map in bijection with the linked structure."""
+    seen = 0
+    prev_count: Optional[int] = None
+    bucket = summary._min_bucket
+    while bucket is not None:
+        if prev_count is not None and bucket.count <= prev_count:
+            _fail(
+                summary,
+                "bucket_order_strict",
+                f"bucket count {bucket.count} follows {prev_count}",
+            )
+        prev_count = bucket.count
+        node = bucket.head
+        if node is None:
+            _fail(summary, "no_empty_buckets", f"bucket {bucket.count} is empty")
+        while node is not None:
+            if node.count != bucket.count:
+                _fail(
+                    summary,
+                    "node_in_count_bucket",
+                    f"node {node.item} has count {node.count} but sits in "
+                    f"bucket {bucket.count}",
+                )
+            if node.bucket is not bucket:
+                _fail(
+                    summary,
+                    "node_in_count_bucket",
+                    f"node {node.item} back-links to a different bucket",
+                )
+            if not 0 <= node.error <= node.count:
+                _fail(
+                    summary,
+                    "error_bound_in_range",
+                    f"node {node.item}: error {node.error} outside "
+                    f"[0, count {node.count}]",
+                )
+            if summary._nodes.get(node.item) is not node:
+                _fail(
+                    summary,
+                    "node_map_bijection",
+                    f"linked node {node.item} missing from the node map",
+                )
+            seen += 1
+            node = node.next
+        bucket = bucket.next
+    if seen != len(summary._nodes):
+        _fail(
+            summary,
+            "node_map_bijection",
+            f"{seen} linked nodes vs {len(summary._nodes)} mapped",
+        )
+
+
+def check_space_saving(ss: "SpaceSaving") -> None:
+    """Validate a SpaceSaving summary (bucket bounds + capacity)."""
+    if len(ss._summary) > ss.capacity:
+        _fail(
+            ss,
+            "size_within_capacity",
+            f"{len(ss._summary)} monitored items exceed capacity {ss.capacity}",
+        )
+    check_stream_summary_list(ss._summary)
+
+
+def install_space_saving(ss: "SpaceSaving") -> None:
+    """Wrap the mutators of a SpaceSaving summary with checks."""
+    if getattr(ss, "_sanitize_installed", False):
+        return
+    ss._sanitize_installed = True  # type: ignore[attr-defined]
+    orig_insert = ss.insert
+    orig_insert_many = ss.insert_many
+
+    def insert(item: int) -> None:
+        orig_insert(item)
+        check_space_saving(ss)
+
+    def insert_many(items: Any, counts: Optional[Sequence[int]] = None) -> None:
+        orig_insert_many(items, counts)
+        check_space_saving(ss)
+
+    ss.insert = insert  # type: ignore[method-assign]
+    ss.insert_many = insert_many  # type: ignore[method-assign]

@@ -14,13 +14,15 @@ Pure numpy; callers gate on :func:`repro.hashing.family.numpy_available`.
 
 from __future__ import annotations
 
+from typing import Any
+
 try:
     import numpy as _np
 except ImportError:  # pragma: no cover - the CI image ships numpy
     _np = None
 
 
-def _group_offsets(sorted_idx):
+def _group_offsets(sorted_idx: Any) -> Any:
     """Start offset (into the sorted order) of each event's slot group."""
     n = sorted_idx.shape[0]
     is_start = _np.empty(n, dtype=bool)
@@ -31,7 +33,7 @@ def _group_offsets(sorted_idx):
     return _np.repeat(starts, sizes)
 
 
-def grouped_cumcount(idx):
+def grouped_cumcount(idx: Any) -> Any:
     """Per event, the number of *earlier* batch events hitting its slot.
 
     ``idx`` is an int array of slot indices in stream order; the result
@@ -47,7 +49,7 @@ def grouped_cumcount(idx):
     return out
 
 
-def grouped_cumsum(idx, values):
+def grouped_cumsum(idx: Any, values: Any) -> Any:
     """Inclusive running sum of ``values`` over same-slot events.
 
     ``out[i] == sum(values[j] for j <= i if idx[j] == idx[i])`` — the

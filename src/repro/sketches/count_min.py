@@ -8,6 +8,7 @@ the mapped counters, which never underestimates the true count.
 from __future__ import annotations
 
 from array import array
+from typing import Any, Iterable
 
 from repro.hashing.family import HashFamily, as_key_array, numpy_available
 from repro.metrics.memory import MemoryBudget
@@ -28,7 +29,7 @@ class CountMinSketch:
         seed: Hash-family seed.
     """
 
-    def __init__(self, width: int, rows: int = 3, seed: int = 0x5EED):
+    def __init__(self, width: int, rows: int = 3, seed: int = 0x5EED) -> None:
         if width < 1 or rows < 1:
             raise ValueError("width and rows must be >= 1")
         self.width = width
@@ -51,7 +52,7 @@ class CountMinSketch:
         for table, h in zip(self._tables, self._hashes):
             table[h(key) % width] += delta
 
-    def update_many(self, keys, delta: int = 1) -> None:
+    def update_many(self, keys: Iterable[int], delta: int = 1) -> None:
         """Add ``delta`` to every key's counters in one vectorised pass.
 
         CM updates are pure additions, so batching commutes: the result is
@@ -76,7 +77,7 @@ class CountMinSketch:
             view = _np.frombuffer(table, dtype=_np.int64)
             _np.add.at(view, idx, deltas)
 
-    def update_and_query_many(self, keys, delta: int = 1):
+    def update_and_query_many(self, keys: Iterable[int], delta: int = 1) -> Any:
         """Per-event fresh estimates for a whole batch, replay-identical.
 
         Returns the sequence of estimates :meth:`update_and_query` would

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import statistics
 from array import array
+from typing import Any, Iterable
 
 from repro.hashing.family import HashFamily, as_key_array, numpy_available
 from repro.metrics.memory import MemoryBudget
@@ -29,7 +30,7 @@ class CountSketch:
         seed: Hash-family seed.
     """
 
-    def __init__(self, width: int, rows: int = 3, seed: int = 0xC0DE):
+    def __init__(self, width: int, rows: int = 3, seed: int = 0xC0DE) -> None:
         if width < 1 or rows < 1:
             raise ValueError("width and rows must be >= 1")
         self.width = width
@@ -56,7 +57,7 @@ class CountSketch:
             sign = 1 if sh(key) & 1 else -1
             table[bh(key) % width] += sign * delta
 
-    def update_many(self, keys, delta: int = 1) -> None:
+    def update_many(self, keys: Iterable[int], delta: int = 1) -> None:
         """Add ``delta`` to every key (signed per row) in one pass.
 
         Signed additions commute, so the batch is cell-for-cell identical
@@ -100,7 +101,7 @@ class CountSketch:
         self.update(key, delta)
         return self.query(key)
 
-    def update_and_query_many(self, keys, delta: int = 1):
+    def update_and_query_many(self, keys: Iterable[int], delta: int = 1) -> Any:
         """Per-event fresh estimates for a whole batch, replay-identical.
 
         The signed counter event ``i`` observes in a row is its pre-batch

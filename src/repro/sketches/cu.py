@@ -8,6 +8,8 @@ finds CU the strongest sketch baseline.
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 from repro.hashing.family import as_key_array, numpy_available
 from repro.sketches.count_min import CountMinSketch
 
@@ -37,7 +39,7 @@ class CUSketch(CountMinSketch):
             if value < target:
                 table[slot] = target
 
-    def update_many(self, keys, delta: int = 1) -> None:
+    def update_many(self, keys: Iterable[int], delta: int = 1) -> None:
         """Batch update with vectorised hashing, exact stream order.
 
         Conservative update is order-dependent when distinct keys share
@@ -77,7 +79,7 @@ class CUSketch(CountMinSketch):
         self.update(key, delta)
         return self.query(key)
 
-    def update_and_query_many(self, keys, delta: int = 1):
+    def update_and_query_many(self, keys: Iterable[int], delta: int = 1) -> Any:
         """Per-event fresh estimates for a whole batch, replay-identical.
 
         Conservative update makes the raise-to-target pass inherently

@@ -15,7 +15,7 @@ report — regression-tested against the always-offer replay.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence
 
 from repro import obs
 from repro.metrics.memory import MemoryBudget
@@ -32,14 +32,14 @@ class SketchTopK(StreamSummary):
         k: Heap capacity — the number of items reported.
     """
 
-    def __init__(self, sketch, k: int):
+    def __init__(self, sketch: Any, k: int) -> None:
         self.sketch = sketch
         self.heap = TopKHeap(k)
         self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
     def from_memory(
-        cls, sketch_cls, budget: MemoryBudget, k: int, rows: int = 3, seed: int = 0x5EED
+        cls, sketch_cls: Any, budget: MemoryBudget, k: int, rows: int = 3, seed: int = 0x5EED
     ) -> "SketchTopK":
         """Paper sizing: heap of k entries, remaining bytes to the sketch."""
         sketch = sketch_cls.from_memory(budget, rows=rows, heap_k=k, seed=seed)
@@ -58,7 +58,9 @@ class SketchTopK(StreamSummary):
             return  # provable no-op: full heap, untracked item below the floor
         heap.offer(item, estimate)
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         The sketch's ``update_and_query_many`` commits the whole batch and

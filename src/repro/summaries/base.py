@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import abc
 from itertools import repeat
-from typing import List, NamedTuple, Optional, Sequence
+from typing import Iterable, List, NamedTuple, Optional, Sequence
 
 
-def expand_counts(items, counts) -> list:
+def expand_counts(items: Iterable[int], counts: Iterable[int]) -> List[int]:
     """Flatten a weighted batch into per-arrival items, in stream order.
 
     ``(items, counts)`` describes ``counts[i]`` consecutive arrivals of
@@ -15,7 +15,7 @@ def expand_counts(items, counts) -> list:
     replay would see.  Negative counts are rejected; zero counts drop the
     item.
     """
-    out: list = []
+    out: List[int] = []
     extend = out.extend
     for item, count in zip(items, counts):
         if count < 0:
@@ -51,7 +51,9 @@ class StreamSummary(abc.ABC):
     def insert(self, item: int) -> None:
         """Process one arrival of ``item``."""
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Process a batch of arrivals, in order.
 
         ``counts``, when given, weights the batch: ``counts[i]``

@@ -9,7 +9,7 @@ insertion, so the amortised cost per arrival is O(1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro import obs
 from repro.metrics.memory import MemoryBudget
@@ -19,7 +19,7 @@ from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 class Frequent(StreamSummary):
     """Misra–Gries summary over at most ``capacity`` counters."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -52,7 +52,9 @@ class Frequent(StreamSummary):
         for key in dead:
             del counters[key]
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         Hits and free-slot adds commute within a run (the counter set
@@ -73,7 +75,7 @@ class Frequent(StreamSummary):
         capacity = self.capacity
         i = 0
         while i < total:
-            mult: dict = {}
+            mult: Dict[int, int] = {}
             free = capacity - len(counters)
             j = i
             while j < total:

@@ -9,19 +9,23 @@ classic array heap with a position map (item -> slot).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
+
+from repro import sanitize
 
 
 class TopKHeap:
     """Min-heap over ``(value, item)`` bounded to ``capacity`` entries."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._values: List[float] = []
         self._items: List[int] = []
-        self._pos: dict = {}
+        self._pos: Dict[int, int] = {}
+        if sanitize.env_enabled():
+            sanitize.install_heap(self)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -15,7 +15,7 @@ the paper applies to make all algorithms memory-comparable.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.metrics.memory import MemoryBudget
@@ -30,7 +30,7 @@ class LossyCounting(StreamSummary):
         epsilon: Error parameter; defaults to ``2 / capacity``.
     """
 
-    def __init__(self, capacity: int, epsilon: float | None = None):
+    def __init__(self, capacity: int, epsilon: float | None = None) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -62,7 +62,9 @@ class LossyCounting(StreamSummary):
             self._prune()
             self._bucket_id += 1
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         Chunks the batch at prune boundaries (every ``bucket_width``
@@ -87,7 +89,7 @@ class LossyCounting(StreamSummary):
         i = 0
         while i < total:
             limit = min(total, i + width - self._seen % width)
-            mult: dict = {}
+            mult: Dict[int, int] = {}
             free = capacity - len(entries)
             j = i
             while j < limit:

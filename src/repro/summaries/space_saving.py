@@ -9,9 +9,9 @@ amortised updates.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro import obs
+from repro import obs, sanitize
 from repro.metrics.memory import MemoryBudget
 from repro.summaries.base import ItemReport, StreamSummary, expand_counts
 from repro.summaries.stream_summary import StreamSummaryList
@@ -25,12 +25,14 @@ class SpaceSaving(StreamSummary):
             the memory budget; see :meth:`from_memory`).
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self._summary = StreamSummaryList()
         self._m_batch = obs.batch_size_histogram(type(self).__name__)
+        if sanitize.env_enabled():
+            sanitize.install_space_saving(self)
 
     @classmethod
     def from_memory(cls, budget: MemoryBudget) -> "SpaceSaving":
@@ -47,7 +49,9 @@ class SpaceSaving(StreamSummary):
         else:
             summary.replace_min(item)
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         The batch is split into maximal *runs* of events that are either
@@ -71,8 +75,8 @@ class SpaceSaving(StreamSummary):
         apply_run = summary.apply_run
         i = 0
         while i < total:
-            mult: dict = {}
-            last: dict = {}
+            mult: Dict[int, int] = {}
+            last: Dict[int, int] = {}
             free = capacity - len(nodes)
             j = i
             while j < total:

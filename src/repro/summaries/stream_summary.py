@@ -17,7 +17,7 @@ class _Node:
 
     __slots__ = ("item", "count", "error", "bucket", "prev", "next")
 
-    def __init__(self, item: int, count: int, error: int):
+    def __init__(self, item: int, count: int, error: int) -> None:
         self.item = item
         self.count = count
         self.error = error
@@ -31,7 +31,7 @@ class _Bucket:
 
     __slots__ = ("count", "head", "prev", "next")
 
-    def __init__(self, count: int):
+    def __init__(self, count: int) -> None:
         self.count = count
         self.head: "_Node | None" = None
         self.prev: "_Bucket | None" = None
@@ -45,7 +45,7 @@ class StreamSummaryList:
     bucket ordering invariant after arbitrary operation sequences.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._nodes: Dict[int, _Node] = {}
         self._min_bucket: "_Bucket | None" = None
 

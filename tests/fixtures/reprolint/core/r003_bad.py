@@ -1,0 +1,17 @@
+"""R003 fixture: unseeded entropy inside a deterministic-core directory."""
+
+import os
+import random
+import time
+
+from random import choice  # R003: unseeded import into the core
+
+
+def sample_noise():
+    random.seed()  # R003
+    x = random.random()  # R003
+    y = random.randint(0, 10)  # R003
+    stamp = time.time()  # R003
+    raw = os.urandom(8)  # R003
+    rng = random.Random(42)  # fine: explicitly seeded generator
+    return x, y, stamp, raw, rng.random(), choice([1, 2])

@@ -1,0 +1,25 @@
+"""R002 fixture: observability misuse inside ingestion hot paths.
+
+``obs`` is deliberately an undefined name — the linter only parses this
+file, it never imports it.
+"""
+
+
+class HotSummary:
+    def __init__(self):
+        self._obs = None
+
+    def insert(self, item):
+        registry = obs.registry()  # R002: registry() on the hot path
+        if obs.is_enabled():  # R002: is_enabled() on the hot path
+            registry.counter("hits")  # R002: metric registration inline
+
+    def update_weights(self, item):
+        if self._obs is not None:
+            self._obs.counter("w")  # R002 x2: registration + unguarded use
+        if self._obs is None:  # second guard -> R002: hoist to one guard
+            return
+
+    def top_k(self, k):
+        # Not a hot path: inline registry access here is fine.
+        return obs.registry()

@@ -1,0 +1,13 @@
+"""R004 fixture: numpy imported at top level without a guarded fallback."""
+
+import numpy as np  # R004: unguarded top-level import
+
+try:
+    from numpy import ndarray  # R004: try block never catches ImportError
+except ValueError:
+    ndarray = None
+
+try:
+    import numpy  # fine: guarded with ImportError fallback
+except ImportError:
+    numpy = None

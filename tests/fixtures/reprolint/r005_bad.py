@@ -1,0 +1,9 @@
+"""R005 fixture: checkpoint codec with no format-version constant at all."""
+
+
+def to_bytes(state):  # R005 line: no module-level MAGIC/VERSION/FORMAT
+    return b"LTC?" + bytes(state)
+
+
+def from_bytes(blob):
+    return list(blob[4:])

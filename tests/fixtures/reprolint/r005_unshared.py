@@ -1,0 +1,11 @@
+"""R005 fixture: a version constant exists but only one side uses it."""
+
+_MAGIC_V3 = b"LTC3"
+
+
+class Codec:
+    def to_bytes(self):  # R005 line: from_bytes never checks _MAGIC_V3
+        return _MAGIC_V3 + b"payload"
+
+    def from_bytes(self, blob):
+        return blob[4:]

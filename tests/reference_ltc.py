@@ -99,6 +99,19 @@ class ReferenceLTC:
         victim = self.cells[jmin]
         if victim.counter > 0:
             victim.counter -= 1
+        elif victim.freq > 0:
+            # When the counter is empty the cell's remaining persistency
+            # credit sits in un-harvested flags; if they cover the whole
+            # post-decrement frequency, charge the decrement to the oldest
+            # pending flag so a later harvest cannot leave
+            # persistency > frequency (the structural claim of §III).
+            pending = int(victim.flags[0]) + int(victim.flags[1])
+            if pending >= victim.freq:
+                harvest_flag = self._harvest_flag()
+                if victim.flags[harvest_flag]:
+                    victim.flags[harvest_flag] = False
+                else:
+                    victim.flags[self._current_flag()] = False
         if victim.freq > 0:
             victim.freq -= 1
         if self._sig(victim) <= 0:
@@ -106,7 +119,10 @@ class ReferenceLTC:
                 others = [self.cells[j] for j in indices if j != jmin]
                 f2 = min(c.freq for c in others)
                 c2 = min(c.counter for c in others)
-                self._take_cell(jmin, item, max(f2 - 1, 1), max(c2 - 1, 0))
+                f0 = max(f2 - 1, 1)
+                # The newcomer's set flag is one period of future
+                # persistency credit: seed the counter at most f0 - 1.
+                self._take_cell(jmin, item, f0, min(max(c2 - 1, 0), f0 - 1))
             else:
                 self._take_cell(jmin, item, 1, 0)
 

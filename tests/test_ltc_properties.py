@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import LTCConfig
@@ -102,11 +102,58 @@ class TestStructuralInvariants:
 
     @given(events_strategy, periods_strategy)
     @settings(max_examples=60, deadline=None)
+    # The pre-existing ROADMAP bug (found by hypothesis during PR 4): a
+    # Significance Decrement hit a cell whose persistency credit was still
+    # sitting in two un-harvested DE flags, so only frequency was charged
+    # and the later harvests left frequency=1, persistency=2.
+    @example(events=[0, 0, 0, 4, 6, 8, 0, 0, 0, 1, 1, 4], num_periods=6)
     def test_persistency_never_exceeds_frequency(self, events, num_periods):
         """The paper notes f ≥ p always; the structure must preserve it."""
         ltc = build_and_run(
             events, num_periods, w=2, d=4, alpha=1.0, beta=1.0, ltr=False, de=True
         )
+        for cell in ltc.cells():
+            if cell.key is not None:
+                assert cell.persistency <= cell.frequency
+
+    @given(
+        events_strategy,
+        periods_strategy,
+        table_strategy,
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_persistency_never_exceeds_frequency_any_configuration(
+        self, events, num_periods, table, ltr, de
+    ):
+        """f ≥ p holds under every DE/LTR combination, not just the paper
+        default (Long-tail Replacement seeds the counter at most f0 − 1,
+        so the newcomer's pending flag cannot push p past f either)."""
+        w, d = table
+        ltc = build_and_run(
+            events, num_periods, w, d, alpha=1.0, beta=1.0, ltr=ltr, de=de
+        )
+        for cell in ltc.cells():
+            if cell.key is not None:
+                assert cell.persistency <= cell.frequency
+
+    def test_roadmap_persistency_regression_case(self):
+        """The exact ROADMAP repro: events=[0,0,0,4,6,8,0,0,0,1,1,4],
+        6 periods, w=2, d=4, α=β=1, DE=on, LTR=off used to leave item 1
+        with frequency=1, persistency=2."""
+        ltc = build_and_run(
+            [0, 0, 0, 4, 6, 8, 0, 0, 0, 1, 1, 4],
+            6,
+            w=2,
+            d=4,
+            alpha=1.0,
+            beta=1.0,
+            ltr=False,
+            de=True,
+        )
+        f, p = ltc.estimate(1)
+        assert (f, p) == (1, 1)
         for cell in ltc.cells():
             if cell.key is not None:
                 assert cell.persistency <= cell.frequency

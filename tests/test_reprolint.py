@@ -1,0 +1,164 @@
+"""reprolint self-tests: seeded-violation fixtures and the clean tree.
+
+Each fixture under ``tests/fixtures/reprolint/`` violates exactly one
+rule; these tests pin that the linter reports every seeded violation at
+the right file:line, stays silent on the control classes, and exits 0 on
+the real ``src/repro`` tree (satellite: the tree must lint clean).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+from tools.reprolint import main
+from tools.reprolint.rules import Diagnostic, lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "reprolint"
+
+
+def lint_fixture(name: str):
+    diags = lint_paths([str(FIXTURES / name)])
+    assert all(d.path.endswith(name.rsplit("/", 1)[-1]) for d in diags)
+    return diags
+
+
+def lines_of(diags, rule):
+    return sorted(d.line for d in diags if d.rule == rule)
+
+
+# ----------------------------------------------------------------- R001
+def test_r001_flags_both_directions():
+    diags = lint_fixture("r001_bad.py")
+    assert [d.rule for d in diags] == ["R001", "R001"]
+    orphan, missing = diags
+    assert orphan.line == 21 and "OrphanBatch" in orphan.message
+    assert "without a concrete insert" in orphan.message
+    assert missing.line == 28 and "MissingBatch" in missing.message
+    assert "insert_many" in missing.message
+
+
+def test_r001_controls_not_flagged():
+    # The abstract stub base and the fully paired subclass stay silent.
+    diags = lint_fixture("r001_bad.py")
+    assert not any(
+        "PairedFine" in d.message or "'StreamSummary'" in d.message for d in diags
+    )
+
+
+# ----------------------------------------------------------------- R002
+def test_r002_flags_hot_path_misuse():
+    diags = lint_fixture("r002_bad.py")
+    assert {d.rule for d in diags} == {"R002"}
+    by_line = {}
+    for d in diags:
+        by_line.setdefault(d.line, []).append(d.message)
+    assert any("obs.registry()" in m for m in by_line[13])
+    assert any("obs.is_enabled()" in m for m in by_line[14])
+    assert any("registers a metric" in m for m in by_line[15])
+    # Double guard reported at the method line.
+    assert any("2 times" in m for m in by_line[17])
+    # Line 19 is both an inline registration and an unguarded _obs use.
+    assert any("registers a metric" in m for m in by_line[19])
+    assert any("outside an is-None guard" in m for m in by_line[19])
+    # Non-hot-path methods (top_k) are never flagged.
+    assert all("top_k" not in m for ms in by_line.values() for m in ms)
+
+
+# ----------------------------------------------------------------- R003
+def test_r003_flags_unseeded_entropy_in_core_dirs():
+    diags = lint_fixture("core/r003_bad.py")
+    assert {d.rule for d in diags} == {"R003"}
+    assert lines_of(diags, "R003") == [7, 11, 12, 13, 14, 15]
+    messages = " ".join(d.message for d in diags)
+    assert "time.time()" in messages and "os.urandom()" in messages
+    # The seeded random.Random(42) on line 16 is allowed.
+    assert 16 not in lines_of(diags, "R003")
+
+
+def test_r003_only_applies_inside_deterministic_dirs():
+    # The same source outside core/ must not be flagged: R003 is scoped.
+    source = (FIXTURES / "core" / "r003_bad.py").read_text()
+    elsewhere = FIXTURES / "r003_elsewhere_tmp.py"
+    elsewhere.write_text(source)
+    try:
+        assert lint_paths([str(elsewhere)]) == []
+    finally:
+        elsewhere.unlink()
+
+
+# ----------------------------------------------------------------- R004
+def test_r004_flags_unguarded_numpy_imports():
+    diags = lint_fixture("r004_bad.py")
+    assert {d.rule for d in diags} == {"R004"}
+    assert lines_of(diags, "R004") == [3, 6]
+    unguarded, badtry = sorted(diags, key=lambda d: d.line)
+    assert "unguarded top-level numpy import 'np'" in unguarded.message
+    assert "never catches ImportError" in badtry.message
+    # The properly guarded import (line 11) is allowed.
+    assert 11 not in lines_of(diags, "R004")
+
+
+# ----------------------------------------------------------------- R005
+def test_r005_flags_missing_version_constant():
+    diags = lint_fixture("r005_bad.py")
+    assert [d.rule for d in diags] == ["R005"]
+    assert diags[0].line == 4
+    assert "without a module-level format-version constant" in diags[0].message
+
+
+def test_r005_flags_one_sided_constant_reference():
+    diags = lint_fixture("r005_unshared.py")
+    assert [d.rule for d in diags] == ["R005"]
+    assert diags[0].line == 7
+    assert "never reference a shared format-version constant" in diags[0].message
+
+
+# ----------------------------------------------------- driver behaviour
+def test_diagnostic_render_format():
+    d = Diagnostic(path="a/b.py", line=3, col=7, rule="R001", message="boom")
+    assert d.render() == "a/b.py:3:7: R001 boom"
+
+
+def test_diagnostics_sorted_by_location():
+    diags = lint_paths([str(FIXTURES)])
+    keys = [(d.path, d.line, d.col, d.rule) for d in diags]
+    assert keys == sorted(keys)
+    assert {d.rule for d in diags} == {"R001", "R002", "R003", "R004", "R005"}
+
+
+def test_rule_filter_restricts_output():
+    diags = lint_paths([str(FIXTURES)], only=frozenset({"R004"}))
+    assert diags and {d.rule for d in diags} == {"R004"}
+
+
+def test_clean_tree_src_repro():
+    """Satellite: the real library must lint clean (exit status 0)."""
+    assert lint_paths([str(REPO_ROOT / "src" / "repro")]) == []
+
+
+def test_cli_exit_status_and_output(capsys):
+    assert main([str(REPO_ROOT / "src" / "repro")]) == 0
+    assert "reprolint: clean" in capsys.readouterr().out
+    assert main([str(FIXTURES / "r004_bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "R004" in out and "violation(s)" in out
+    assert main([str(FIXTURES / "does_not_exist.py")]) == 2
+
+
+def test_cli_rules_flag(capsys):
+    assert main([str(FIXTURES), "--rules", "R005"]) == 1
+    out = capsys.readouterr().out
+    assert "R005" in out and "R001" not in out
+
+
+def test_module_entry_point_runs():
+    proc = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "reprolint: clean" in proc.stdout

@@ -1,0 +1,326 @@
+"""Tests for :mod:`repro.sanitize`, the opt-in runtime invariant checker.
+
+Three claims are pinned here:
+
+1. **Detection** — deliberately corrupting each structure raises
+   :class:`SanitizeError` naming the violated invariant, and the checker
+   would have caught the historical ``persistency > frequency`` decrement
+   bug *at the mutation site* (replayed via a subclass that restores the
+   old decrement logic).
+2. **Transparency** — a sanitized structure computes exactly the same
+   states and estimates as an unsanitized one.
+3. **Zero cost when off** — with sanitization disabled nothing is
+   installed on the instance; the hot paths stay the plain class
+   functions.
+"""
+
+import random
+
+import pytest
+
+from repro import sanitize
+from repro.core.config import LTCConfig
+from repro.core.fast_ltc import FastLTC
+from repro.core.ltc import LTC
+from repro.core.windowed import WindowedLTC
+from repro.sanitize import SanitizeError
+from repro.summaries.heap import TopKHeap
+from repro.summaries.space_saving import SpaceSaving
+from tests.conftest import make_stream
+
+
+def small_config(**kw) -> LTCConfig:
+    kw.setdefault("num_buckets", 2)
+    kw.setdefault("bucket_width", 4)
+    return LTCConfig(**kw)
+
+
+def filled_ltc(**kw) -> LTC:
+    ltc = LTC(small_config(**kw))
+    for item in [1, 2, 3, 1, 1, 2, 9, 9]:
+        ltc.insert(item)
+    ltc.end_period()
+    return ltc
+
+
+# ----------------------------------------------------------- enablement
+def test_env_enabled_parsing(monkeypatch):
+    for value in ("1", "true", "YES", " On "):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitize.env_enabled(), value
+    for value in ("", "0", "no", "off", "2"):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert not sanitize.env_enabled(), value
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert not sanitize.env_enabled()
+
+
+def test_disabled_leaves_hot_paths_untouched():
+    """Zero-cost-off: no wrapper, not even a flag branch, is installed."""
+    ltc = LTC(small_config())
+    for name in ("insert", "insert_many", "insert_timed", "end_period", "finalize"):
+        assert name not in ltc.__dict__, name
+    assert not hasattr(ltc, "_sanitize_installed")
+    wltc = WindowedLTC(num_buckets=2, window=4)
+    assert "insert" not in wltc.__dict__
+    ss = SpaceSaving(capacity=4)
+    assert "insert" not in ss.__dict__
+    heap = TopKHeap(capacity=4)
+    assert "offer" not in heap.__dict__
+
+
+def test_config_flag_installs_wrappers():
+    ltc = LTC(small_config(sanitize=True))
+    for name in ("insert", "insert_many", "insert_timed", "end_period", "finalize"):
+        assert name in ltc.__dict__, name
+    # Installation is idempotent: a second call must not re-wrap.
+    wrapped = ltc.insert
+    sanitize.install_ltc(ltc)
+    assert ltc.insert is wrapped
+
+
+def test_env_flag_installs_everywhere(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert "insert" in LTC(small_config()).__dict__
+    assert "insert" in FastLTC(small_config()).__dict__
+    assert "insert" in WindowedLTC(num_buckets=2, window=4).__dict__
+    assert "insert" in SpaceSaving(capacity=4).__dict__
+    assert "offer" in TopKHeap(capacity=4).__dict__
+
+
+# -------------------------------------------------- corruption detection
+def invariant_of(excinfo) -> str:
+    err = excinfo.value
+    assert isinstance(err, SanitizeError)
+    assert err.structure and err.invariant and err.detail
+    assert err.invariant in str(err)
+    return err.invariant
+
+
+def tracked_slot(ltc: LTC) -> int:
+    return next(j for j, key in enumerate(ltc._keys) if key is not None)
+
+
+def test_detects_persistency_exceeding_frequency():
+    ltc = filled_ltc()
+    j = tracked_slot(ltc)
+    ltc._counters[j] = ltc._freqs[j] + 1
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_ltc(ltc)
+    assert invariant_of(excinfo) == "persistency_le_frequency"
+    assert f"cell {j}" in excinfo.value.detail
+
+
+def test_detects_pending_flag_credit():
+    """The strong check counts un-harvested flags, so stranded credit is
+    caught before the harvest that would materialise it."""
+    ltc = filled_ltc(deviation_eliminator=True)
+    j = tracked_slot(ltc)
+    ltc._freqs[j] = 1
+    ltc._counters[j] = 0
+    ltc._flags[j] = 0b11
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_ltc(ltc)
+    assert invariant_of(excinfo) == "persistency_le_frequency"
+    assert "pending" in excinfo.value.detail
+
+
+def test_detects_flag_domain_violation():
+    ltc = filled_ltc()
+    ltc._flags[tracked_slot(ltc)] = 0b100
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_ltc(ltc)
+    assert invariant_of(excinfo) == "flag_domain"
+
+
+def test_detects_dirty_empty_cell():
+    ltc = filled_ltc()
+    j = tracked_slot(ltc)
+    ltc._keys[j] = None
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_ltc(ltc)
+    assert invariant_of(excinfo) == "empty_cell_zeroed"
+
+
+def test_detects_clock_corruption():
+    ltc = filled_ltc()
+    ltc._clock.hand = ltc.total_cells + 5
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_ltc(ltc)
+    assert invariant_of(excinfo) == "clock_hand_in_range"
+
+
+def test_detects_fast_ltc_index_divergence():
+    fast = FastLTC(small_config())
+    for item in [1, 2, 3, 1, 1]:
+        fast.insert(item)
+    sanitize.check_ltc(fast)  # healthy
+    fast._slot_of[1] = (fast._slot_of[1] + 1) % fast.total_cells
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_ltc(fast)
+    assert invariant_of(excinfo) == "index_matches_cells"
+
+
+def test_detects_windowed_ring_escape():
+    wltc = WindowedLTC(num_buckets=2, window=4)
+    for item in [1, 2, 1]:
+        wltc.insert(item)
+    sanitize.check_windowed(wltc)  # healthy
+    j = next(j for j, key in enumerate(wltc._keys) if key is not None)
+    wltc._rings[j] |= 1 << wltc.window  # bit outside the window mask
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_windowed(wltc)
+    assert invariant_of(excinfo) == "ring_in_window"
+
+
+def test_detects_heap_property_violation():
+    heap = TopKHeap(capacity=8)
+    for item, value in enumerate([5.0, 3.0, 8.0, 1.0, 9.0, 2.0]):
+        heap.offer(item, value)
+    sanitize.check_heap(heap)  # healthy
+    heap._values[0], heap._values[-1] = heap._values[-1], heap._values[0]
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_heap(heap)
+    assert invariant_of(excinfo) == "heap_property"
+
+
+def test_detects_heap_position_map_drift():
+    heap = TopKHeap(capacity=8)
+    for item, value in enumerate([5.0, 3.0, 8.0]):
+        heap.offer(item, value)
+    heap._pos[0], heap._pos[1] = heap._pos[1], heap._pos[0]
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_heap(heap)
+    assert invariant_of(excinfo) == "position_map_matches"
+
+
+def test_detects_stream_summary_corruption():
+    ss = SpaceSaving(capacity=3)
+    for item in [1, 2, 3, 1, 1, 4, 5, 2]:
+        ss.insert(item)
+    sanitize.check_space_saving(ss)  # healthy
+    node = next(iter(ss._summary._nodes.values()))
+    node.count += 1  # now disagrees with its bucket
+    with pytest.raises(SanitizeError) as excinfo:
+        sanitize.check_space_saving(ss)
+    assert invariant_of(excinfo) == "node_in_count_bucket"
+
+
+def test_checkpoint_round_trip_check_passes_on_healthy_ltc():
+    sanitize.check_ltc_checkpoint(filled_ltc())
+    sanitize.check_ltc_checkpoint(filled_ltc(deviation_eliminator=False))
+
+
+# ------------------------------------------- the historical decrement bug
+class OldDecrementLTC(LTC):
+    """LTC with the pre-fix Significance Decrementing logic: the decrement
+    charges frequency without reconciling pending (un-harvested) flag
+    credit, which strands persistency credit the next harvest turns into
+    ``persistency > frequency``."""
+
+    def _decrement_smallest(self, item: int, base: int) -> None:
+        d = self._d
+        alpha, beta = self._alpha, self._beta
+        freqs, counters = self._freqs, self._counters
+        jmin = base
+        smin = alpha * freqs[base] + beta * counters[base]
+        for j in range(base + 1, base + d):
+            s = alpha * freqs[j] + beta * counters[j]
+            if s < smin:
+                smin, jmin = s, j
+        if counters[jmin] > 0:
+            counters[jmin] -= 1
+        if freqs[jmin] > 0:
+            freqs[jmin] -= 1
+        if alpha * freqs[jmin] + beta * counters[jmin] > 0:
+            return
+        self._keys[jmin] = item
+        freqs[jmin] = 1
+        counters[jmin] = 0
+        self._flags[jmin] = self._set_bit
+
+
+ROADMAP_EVENTS = [0, 0, 0, 4, 6, 8, 0, 0, 0, 1, 1, 4]
+
+
+def test_sanitizer_catches_old_decrement_bug():
+    """Replaying the ROADMAP repro against the old decrement logic with
+    sanitization enabled fails at the mutation site — the sanitizer would
+    have caught the historical bug long before the final estimates."""
+    stream = make_stream(ROADMAP_EVENTS, num_periods=6)
+    ltc = OldDecrementLTC(
+        small_config(
+            num_buckets=2,
+            bucket_width=4,
+            items_per_period=stream.period_length,
+            longtail_replacement=False,
+            sanitize=True,
+        )
+    )
+    with pytest.raises(SanitizeError) as excinfo:
+        stream.run(ltc)
+    assert invariant_of(excinfo) == "persistency_le_frequency"
+
+
+def test_fixed_decrement_passes_same_stream():
+    """The same stream through the fixed LTC sanitizes cleanly end to end."""
+    stream = make_stream(ROADMAP_EVENTS, num_periods=6)
+    ltc = LTC(
+        small_config(
+            num_buckets=2,
+            bucket_width=4,
+            items_per_period=stream.period_length,
+            longtail_replacement=False,
+            sanitize=True,
+        )
+    )
+    stream.run(ltc)
+    assert ltc.estimate(1) == (1, 1)
+
+
+# ------------------------------------------------------------ transparency
+def test_sanitized_run_is_bit_identical_to_plain_run():
+    rng = random.Random(0x5A17)
+    for trial in range(25):
+        events = [rng.randrange(10) for _ in range(rng.randrange(5, 80))]
+        cfg = dict(
+            num_buckets=2,
+            bucket_width=4,
+            items_per_period=max(1, len(events) // 4),
+            longtail_replacement=bool(trial % 2),
+            deviation_eliminator=bool((trial // 2) % 2),
+            seed=trial,
+        )
+        plain = LTC(small_config(**cfg))
+        checked = LTC(small_config(sanitize=True, **cfg))
+        for event in events:
+            plain.insert(event)
+            checked.insert(event)
+        plain.end_period()
+        checked.end_period()
+        assert list(plain.cells()) == list(checked.cells()), trial
+        for item in set(events):
+            assert plain.estimate(item) == checked.estimate(item)
+
+
+def test_sanitized_batched_run_matches_plain():
+    events = [3, 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5] * 4
+    plain = FastLTC(small_config(items_per_period=8))
+    checked = FastLTC(small_config(items_per_period=8, sanitize=True))
+    plain.insert_many(events)
+    checked.insert_many(events)
+    plain.finalize()
+    checked.finalize()
+    assert list(plain.cells()) == list(checked.cells())
+
+
+def test_sanitized_space_saving_matches_plain(monkeypatch):
+    events = [1, 2, 3, 1, 1, 4, 5, 2, 6, 1, 7, 2] * 3
+    plain = SpaceSaving(capacity=4)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    checked = SpaceSaving(capacity=4)
+    assert "insert" in checked.__dict__
+    for event in events:
+        plain.insert(event)
+        checked.insert(event)
+    assert plain._summary.top(4) == checked._summary.top(4)

@@ -1,0 +1,78 @@
+"""reprolint — repo-specific static analysis for the LTC reproduction.
+
+Generic linters (ruff, mypy) cannot express the contracts this codebase
+actually lives by: replay-identical batched ingestion, numpy-optional
+fallbacks, the capture-at-construction observability pattern,
+determinism of the core structures, and versioned binary checkpoints.
+``reprolint`` is a small AST pass that machine-checks those contracts.
+
+Run it from the repository root::
+
+    python -m tools.reprolint src/repro          # lint the library
+    python -m tools.reprolint path/to/file.py    # lint specific files
+
+Rules (see :mod:`tools.reprolint.rules` for the full text):
+
+* **R001** — batched-ingestion pairing: a class defining ``insert_many``
+  must have a concrete ``insert`` (own or inherited), and every
+  ``StreamSummary`` subclass that overrides ``insert`` must also carry a
+  batched ``insert_many`` override somewhere below the base class.
+* **R002** — observability hot-path discipline: methods on the hot path
+  (``insert*``, ``evict*``, ``decrement*``, ``update*``) must use the
+  capture-at-construction registry with a single ``is None`` guard —
+  never call ``obs.registry()`` / ``obs.is_enabled()`` or register
+  metrics inline.
+* **R003** — determinism: no unseeded ``random.*`` module calls,
+  ``time.time()`` or ``os.urandom()`` inside ``core/``, ``sketches/``,
+  ``summaries/`` or ``membership/`` (replay identity depends on it).
+* **R004** — numpy-optional: a module importing numpy at top level must
+  guard the import with ``try/except ImportError`` so the pure-Python
+  fallback path stays importable.
+* **R005** — versioned checkpoints: a module defining both ``to_bytes``
+  and ``from_bytes`` must reference a shared module-level format-version
+  constant (name containing ``MAGIC``/``VERSION``/``FORMAT``) from both.
+
+Exit status: 0 when clean, 1 when any diagnostic fired, 2 on usage or
+parse errors.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.rules import Diagnostic, lint_paths
+
+__all__ = ["Diagnostic", "lint_paths", "main"]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Repo-specific static analysis for the LTC reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="Files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        help="Comma-separated rule ids to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+    only = frozenset(r.strip().upper() for r in args.rules.split(",") if r.strip())
+    try:
+        diagnostics = lint_paths(args.paths, only=only or None)
+    except (OSError, SyntaxError) as exc:
+        print(f"reprolint: error: {exc}")
+        return 2
+    for diag in diagnostics:
+        print(diag.render())
+    if diagnostics:
+        print(f"reprolint: {len(diagnostics)} violation(s)")
+        return 1
+    print("reprolint: clean")
+    return 0

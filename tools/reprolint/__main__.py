@@ -1,0 +1,7 @@
+"""``python -m tools.reprolint`` entry point."""
+
+import sys
+
+from tools.reprolint import main
+
+sys.exit(main())

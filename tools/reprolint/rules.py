@@ -1,0 +1,540 @@
+"""The reprolint rule implementations (pure stdlib ``ast``).
+
+The linter runs in two passes: pass 1 parses every file and builds a
+project-wide class index (class name → methods, bases, abstractness) so
+R001 can resolve inheritance across modules; pass 2 walks each module
+and applies the rules.  Base-name resolution is textual — class names
+are unique in this repository, which is exactly the kind of assumption a
+*repo-specific* linter is allowed to make.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Method-name prefixes considered ingestion hot paths for R002 (leading
+#: underscores are ignored, so ``_decrement_smallest`` is a hot path).
+HOT_PATH_RE = re.compile(r"^_*(insert|evict|decrement|update)")
+
+#: Module-level constant names accepted as checkpoint format versions.
+VERSION_CONST_RE = re.compile(r"(MAGIC|VERSION|FORMAT)")
+
+#: Unseeded randomness / wall-clock entropy sources banned by R003.
+BANNED_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "getrandbits",
+        "gauss",
+        "seed",
+    }
+)
+
+#: Directories (path components) where R003 applies: the deterministic
+#: core whose replay identity the differential suites depend on.
+DETERMINISTIC_DIRS = frozenset({"core", "sketches", "summaries", "membership"})
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One rule violation, pointing at file:line:col."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class ClassInfo:
+    """Pass-1 summary of one class definition."""
+
+    name: str
+    path: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, int] = field(default_factory=dict)  # name -> lineno
+    abstract_methods: Set[str] = field(default_factory=set)
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_abstract(func: ast.FunctionDef) -> bool:
+    for deco in func.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else ""
+        )
+        if name in ("abstractmethod", "abstractproperty"):
+            return True
+    return False
+
+
+def _collect_classes(tree: ast.Module, path: str) -> List[ClassInfo]:
+    classes = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        info = ClassInfo(node.name, path, node.lineno, bases=_base_names(node))
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[item.name] = item.lineno
+                if isinstance(item, ast.FunctionDef) and _is_abstract(item):
+                    info.abstract_methods.add(item.name)
+        classes.append(info)
+    return classes
+
+
+class ClassIndex:
+    """Project-wide class lookup with transitive ancestor resolution."""
+
+    def __init__(self, classes: Iterable[ClassInfo]):
+        self._by_name: Dict[str, ClassInfo] = {}
+        for info in classes:
+            # First definition wins; duplicates across fixture trees are
+            # fine because lookups stay within one lint invocation.
+            self._by_name.setdefault(info.name, info)
+
+    def get(self, name: str) -> Optional[ClassInfo]:
+        return self._by_name.get(name)
+
+    def ancestors(self, info: ClassInfo) -> List[ClassInfo]:
+        """Transitive base classes resolvable inside the linted tree."""
+        out: List[ClassInfo] = []
+        seen = {info.name}
+        stack = list(info.bases)
+        while stack:
+            base = stack.pop()
+            if base in seen:
+                continue
+            seen.add(base)
+            resolved = self._by_name.get(base)
+            if resolved is not None:
+                out.append(resolved)
+                stack.extend(resolved.bases)
+        return out
+
+    def descends_from(self, info: ClassInfo, root: str) -> bool:
+        return any(anc.name == root for anc in self.ancestors(info))
+
+    def concrete_method(self, info: ClassInfo, method: str) -> bool:
+        """Whether ``method`` is available and concrete on ``info``."""
+        if method in info.methods:
+            return method not in info.abstract_methods
+        for anc in self.ancestors(info):
+            if method in anc.methods:
+                return method not in anc.abstract_methods
+        return False
+
+    def override_below(self, info: ClassInfo, method: str, root: str) -> bool:
+        """Whether ``method`` is (re)defined on ``info`` or an ancestor
+        strictly below ``root`` in the hierarchy."""
+        if method in info.methods and info.name != root:
+            return True
+        return any(
+            method in anc.methods for anc in self.ancestors(info) if anc.name != root
+        )
+
+
+# ----------------------------------------------------------------- R001
+def check_r001(index: ClassIndex, classes: Sequence[ClassInfo]) -> List[Diagnostic]:
+    """Batched-ingestion pairing of ``insert`` / ``insert_many``."""
+    out = []
+    for info in classes:
+        own_many = "insert_many" in info.methods
+        own_insert = "insert" in info.methods
+        # Abstract classes (any own abstract method) can't be
+        # instantiated, so the pairing contract lands on their concrete
+        # descendants instead.
+        if own_many and not info.abstract_methods:
+            if not index.concrete_method(info, "insert"):
+                out.append(
+                    Diagnostic(
+                        info.path,
+                        info.methods["insert_many"],
+                        0,
+                        "R001",
+                        f"class '{info.name}' defines insert_many without a "
+                        f"concrete insert (batched ingestion must stay "
+                        f"replay-identical to a per-event path)",
+                    )
+                )
+        if (
+            own_insert
+            and "insert" not in info.abstract_methods
+            and index.descends_from(info, "StreamSummary")
+            and not index.override_below(info, "insert_many", "StreamSummary")
+        ):
+            out.append(
+                Diagnostic(
+                    info.path,
+                    info.methods["insert"],
+                    0,
+                    "R001",
+                    f"summary '{info.name}' overrides insert but inherits the "
+                    f"per-event insert_many fallback; add a batched override "
+                    f"(and a differential test pinning it replay-identical)",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------- R002
+def _is_obs_none_test(node: ast.Compare) -> bool:
+    """``<expr>._obs is None`` / ``is not None`` (either operand order)."""
+    operands = [node.left, *node.comparators]
+    if len(operands) != 2 or not all(
+        isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+    ):
+        return False
+    has_obs = any(
+        isinstance(op, ast.Attribute) and op.attr == "_obs" for op in operands
+    )
+    has_none = any(
+        isinstance(op, ast.Constant) and op.value is None for op in operands
+    )
+    return has_obs and has_none
+
+
+def check_r002(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """Observability discipline in ingestion hot paths."""
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if not HOT_PATH_RE.match(item.name):
+                continue
+            guards = 0
+            guarded_tests: Set[int] = set()
+            for sub in ast.walk(item):
+                if isinstance(sub, ast.Compare) and _is_obs_none_test(sub):
+                    guards += 1
+                    for op in (sub.left, *sub.comparators):
+                        if isinstance(op, ast.Attribute) and op.attr == "_obs":
+                            guarded_tests.add(id(op))
+                elif isinstance(sub, ast.Call):
+                    func = sub.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "obs"
+                        and func.attr in ("registry", "is_enabled")
+                    ):
+                        out.append(
+                            Diagnostic(
+                                path,
+                                sub.lineno,
+                                sub.col_offset,
+                                "R002",
+                                f"hot path '{node.name}.{item.name}' calls "
+                                f"obs.{func.attr}(); capture the registry at "
+                                f"construction instead",
+                            )
+                        )
+                    elif isinstance(func, ast.Attribute) and func.attr in (
+                        "counter",
+                        "gauge",
+                        "histogram",
+                    ):
+                        out.append(
+                            Diagnostic(
+                                path,
+                                sub.lineno,
+                                sub.col_offset,
+                                "R002",
+                                f"hot path '{node.name}.{item.name}' registers "
+                                f"a metric ('{func.attr}'); register at "
+                                f"construction and guard with one is-None test",
+                            )
+                        )
+            for sub in ast.walk(item):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == "_obs"
+                    and id(sub) not in guarded_tests
+                ):
+                    out.append(
+                        Diagnostic(
+                            path,
+                            sub.lineno,
+                            sub.col_offset,
+                            "R002",
+                            f"hot path '{node.name}.{item.name}' uses the "
+                            f"captured registry outside an is-None guard "
+                            f"(store per-metric handles at construction)",
+                        )
+                    )
+            if guards > 1:
+                out.append(
+                    Diagnostic(
+                        path,
+                        item.lineno,
+                        item.col_offset,
+                        "R002",
+                        f"hot path '{node.name}.{item.name}' tests the "
+                        f"captured registry {guards} times; hoist to a single "
+                        f"is-None guard",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------- R003
+def _in_deterministic_dir(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    return any(part in DETERMINISTIC_DIRS for part in parts[:-1])
+
+
+def check_r003(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """Determinism: no unseeded entropy in the deterministic core."""
+    if not _in_deterministic_dir(path):
+        return []
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            func = node.func
+            if not isinstance(func.value, ast.Name):
+                continue
+            mod, attr = func.value.id, func.attr
+            if mod == "random" and attr in BANNED_RANDOM_FUNCS:
+                what = f"random.{attr}()"
+            elif mod == "time" and attr == "time":
+                what = "time.time()"
+            elif mod == "os" and attr == "urandom":
+                what = "os.urandom()"
+            else:
+                continue
+            out.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "R003",
+                    f"{what} breaks replay identity in the deterministic core; "
+                    f"thread a seeded random.Random / explicit timestamp "
+                    f"through the API instead",
+                )
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            banned = [
+                a.name for a in node.names if a.name in BANNED_RANDOM_FUNCS
+            ]
+            if banned:
+                out.append(
+                    Diagnostic(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "R003",
+                        f"importing unseeded {', '.join(banned)} from random "
+                        f"into the deterministic core breaks replay identity",
+                    )
+                )
+    return out
+
+
+# ----------------------------------------------------------------- R004
+def _numpy_aliases(node: ast.stmt) -> List[str]:
+    if isinstance(node, ast.Import):
+        return [a.asname or a.name for a in node.names if a.name == "numpy"]
+    if isinstance(node, ast.ImportFrom) and node.module == "numpy":
+        return [a.asname or a.name for a in node.names]
+    return []
+
+
+def _catches_import_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for t in types:
+        name = t.attr if isinstance(t, ast.Attribute) else (
+            t.id if isinstance(t, ast.Name) else ""
+        )
+        if name in ("ImportError", "ModuleNotFoundError", "Exception"):
+            return True
+    return False
+
+
+def check_r004(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """numpy imports at module top level must carry a guarded fallback."""
+    out = []
+    for node in tree.body:
+        if isinstance(node, ast.Try):
+            guarded = any(_catches_import_error(h) for h in node.handlers)
+            if guarded:
+                continue
+            for sub in node.body:
+                for alias in _numpy_aliases(sub):
+                    out.append(
+                        Diagnostic(
+                            path,
+                            sub.lineno,
+                            sub.col_offset,
+                            "R004",
+                            f"numpy import '{alias}' sits in a try block that "
+                            f"never catches ImportError; add the fallback "
+                            f"handler so numpy stays optional",
+                        )
+                    )
+            continue
+        for alias in _numpy_aliases(node):
+            out.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "R004",
+                    f"unguarded top-level numpy import '{alias}'; wrap in "
+                    f"try/except ImportError with a pure-Python fallback "
+                    f"(numpy is an optional dependency)",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------- R005
+def _referenced_names(func: ast.FunctionDef) -> Set[str]:
+    return {
+        node.id for node in ast.walk(func) if isinstance(node, ast.Name)
+    }
+
+
+def check_r005(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """to_bytes/from_bytes pairs share a format-version constant."""
+    constants = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and VERSION_CONST_RE.search(target.id):
+                constants.add(target.id)
+
+    pairs: Dict[str, Dict[str, ast.FunctionDef]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name in (
+            "to_bytes",
+            "from_bytes",
+        ):
+            scope = ""
+            pairs.setdefault(scope, {})[node.name] = node
+    out = []
+    for scope, funcs in pairs.items():
+        if len(funcs) < 2:
+            continue
+        if not constants:
+            out.append(
+                Diagnostic(
+                    path,
+                    funcs["to_bytes"].lineno,
+                    funcs["to_bytes"].col_offset,
+                    "R005",
+                    "to_bytes/from_bytes pair without a module-level format-"
+                    "version constant (name containing MAGIC/VERSION/FORMAT); "
+                    "version the wire format so old images stay readable",
+                )
+            )
+            continue
+        shared = set.intersection(
+            *(_referenced_names(f) & constants for f in funcs.values())
+        )
+        if not shared:
+            out.append(
+                Diagnostic(
+                    path,
+                    funcs["to_bytes"].lineno,
+                    funcs["to_bytes"].col_offset,
+                    "R005",
+                    "to_bytes and from_bytes never reference a shared format-"
+                    "version constant; both sides must agree on the version "
+                    "they write/accept",
+                )
+            )
+    return out
+
+
+# ------------------------------------------------------------------ driver
+def _iter_python_files(paths: Sequence[str]) -> List[str]:
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            files.append(path)
+        else:
+            raise OSError(f"not a Python file or directory: {path}")
+    return files
+
+
+def lint_paths(
+    paths: Sequence[str], only: Optional[FrozenSet[str]] = None
+) -> List[Diagnostic]:
+    """Lint files/directories; returns diagnostics sorted by location."""
+    files = _iter_python_files(paths)
+    trees: List[Tuple[str, ast.Module]] = []
+    all_classes: List[ClassInfo] = []
+    per_file_classes: Dict[str, List[ClassInfo]] = {}
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        tree = ast.parse(source, filename=path)
+        trees.append((path, tree))
+        classes = _collect_classes(tree, path)
+        per_file_classes[path] = classes
+        all_classes.extend(classes)
+
+    index = ClassIndex(all_classes)
+    out: List[Diagnostic] = []
+
+    def wanted(rule: str) -> bool:
+        return only is None or rule in only
+
+    for path, tree in trees:
+        if wanted("R001"):
+            out.extend(check_r001(index, per_file_classes[path]))
+        if wanted("R002"):
+            out.extend(check_r002(tree, path))
+        if wanted("R003"):
+            out.extend(check_r003(tree, path))
+        if wanted("R004"):
+            out.extend(check_r004(tree, path))
+        if wanted("R005"):
+            out.extend(check_r005(tree, path))
+    out.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return out
