@@ -61,6 +61,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "worker processes (demo only; 1 = single-process)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=["reference", "fast", "columnar"],
+        default="reference",
+        help="LTC implementation to build (repro.core.kernels): the "
+        "paper-faithful reference, the hash-indexed fast kernel, or the "
+        "numpy columnar kernel — all observably identical",
+    )
+    parser.add_argument(
         "--batched",
         action="store_true",
         help="feed summaries whole-period batches through their insert_many "
@@ -136,6 +144,7 @@ def _demo_parallel(args: argparse.Namespace, stream, budget) -> int:
         items_per_period=stream.period_length,
         alpha=args.alpha,
         beta=args.beta,
+        kernel=args.kernel,
     )
     pipeline = ShardedPipeline(
         config, num_shards=args.workers, max_workers=args.workers
@@ -169,7 +178,7 @@ def _demo(args: argparse.Namespace) -> int:
     budget = MemoryBudget(kb(args.memory_kb))
     if args.workers > 1:
         return _demo_parallel(args, stream, budget)
-    ltc = ltc_factory(budget, stream, args.alpha, args.beta)()
+    ltc = ltc_factory(budget, stream, args.alpha, args.beta, kernel=args.kernel)()
     stream.run(ltc, batched=args.batched)
     truth = GroundTruth(stream)
     rows = []
@@ -196,12 +205,13 @@ def _demo(args: argparse.Namespace) -> int:
 
 def _line_up(args: argparse.Namespace, stream):
     budget = MemoryBudget(kb(args.memory_kb))
+    kernel = getattr(args, "kernel", "reference")
     if args.beta == 0:
-        return default_algorithms_frequent(budget, stream, args.k)
+        return default_algorithms_frequent(budget, stream, args.k, kernel=kernel)
     if args.alpha == 0:
-        return default_algorithms_persistent(budget, stream, args.k)
+        return default_algorithms_persistent(budget, stream, args.k, kernel=kernel)
     return default_algorithms_significant(
-        budget, stream, args.k, args.alpha, args.beta
+        budget, stream, args.k, args.alpha, args.beta, kernel=kernel
     )
 
 

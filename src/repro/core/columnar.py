@@ -1,0 +1,355 @@
+"""ColumnarLTC: struct-of-arrays LTC kernel with a vectorized batch path.
+
+:class:`repro.core.fast_ltc.FastLTC` removes the bucket scan from the hit
+path but still pays one interpreted iteration per arrival.  This kernel
+removes the per-arrival loop itself for the common case: the cell state
+lives in numpy **columns** (``int64`` frequency / persistency / flag
+arrays plus a ``uint64`` fingerprint column and a boolean occupancy
+column), a whole batch is hashed and probed with array expressions, and
+the CLOCK sweep is applied as at most two contiguous array slices per
+harvest (wrap-around splits the ``hand → hand+steps`` range in two).
+
+Replay identity with the per-event path rests on a commutation argument,
+valid exactly when the Deviation Eliminator is on (``set`` and ``harvest``
+flags are then distinct bits):
+
+* a **hit** touches only its own cell's frequency and set-flag; a
+  **harvest** touches only a cell's harvest-flag and persistency counter —
+  disjoint state, so hits commute with harvests;
+* misses do not commute (they evict, reseed, and consult bucket minima),
+  so any bucket receiving a miss in the current chunk is **dirty**: every
+  event targeting a dirty bucket is replayed one-by-one in stream order,
+  interleaved with the CLOCK schedule at exactly the arrival offsets the
+  per-event path would use.  Clean buckets receive only hits, their key
+  sets provably cannot change inside the chunk, and their hits are
+  aggregated up front with one ``bincount``.
+
+The batch is processed in fixed-size chunks so dirtiness is a per-chunk
+property — on hit-heavy streams almost every chunk is all-clean and runs
+entirely in numpy.  Without numpy (guarded import below) or with the
+Deviation Eliminator off, the class degrades to plain FastLTC behaviour;
+the differential suite in ``tests/test_columnar.py`` pins cell-level
+equality against FastLTC and the reference LTC either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+try:  # numpy accelerates the batch path; scalar paths work without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+from repro.core.cell import CellView
+from repro.core.config import LTCConfig
+from repro.core.fast_ltc import FastLTC
+from repro.hashing.family import splitmix64, splitmix64_array
+from repro.summaries.base import ItemReport, expand_counts
+
+#: Events per classification chunk.  Dirtiness (bucket received a miss) is
+#: decided per chunk, so smaller chunks keep more of a mixed stream on the
+#: vectorized path while larger ones amortise the probe; 4096 balances the
+#: two for the bench workloads.
+_CHUNK = 4096
+
+
+class ColumnarLTC(FastLTC):
+    """LTC with numpy column storage and a vectorized ``insert_many``.
+
+    Observable behaviour is identical to :class:`FastLTC` (and therefore
+    to the reference :class:`repro.core.ltc.LTC`); the columns are pure
+    acceleration, checked by the differential suite and, under
+    ``REPRO_SANITIZE=1``, by the column-agreement invariant in
+    :func:`repro.sanitize.check_ltc`.
+    """
+
+    def __init__(self, config: LTCConfig) -> None:
+        super().__init__(config)
+        self._vec = _np is not None
+        if self._vec:
+            self._columnize()
+
+    # ------------------------------------------------------------- columns
+    def _columnize(self) -> None:
+        """Adopt numpy column storage for the row arrays and build the
+        fingerprint/occupancy mirror of the key list."""
+        self._freqs = _np.array(self._freqs, dtype=_np.int64)
+        self._counters = _np.array(self._counters, dtype=_np.int64)
+        self._flags = _np.frombuffer(bytes(self._flags), dtype=_np.uint8).astype(
+            _np.int64
+        )
+        self._rebuild_key_columns()
+
+    def _rebuild_key_columns(self) -> None:
+        m = self.total_cells
+        self._kcol = _np.zeros(m, dtype=_np.uint64)
+        self._occ = _np.zeros(m, dtype=bool)
+        # Per-bucket (w, d) views share memory with the flat columns; the
+        # batch probe gathers whole bucket rows through them.
+        self._kcol2 = self._kcol.reshape(self._w, self._d)
+        self._occ2 = self._occ.reshape(self._w, self._d)
+        for j, key in enumerate(self._keys):
+            if key is not None:
+                self._occ[j] = True
+                try:
+                    self._kcol[j] = key
+                except (OverflowError, TypeError, ValueError):
+                    self._disable_vectorization()
+                    return
+
+    def _disable_vectorization(self) -> None:
+        # A key outside the uint64 domain cannot live in the fingerprint
+        # column (and masking it would alias another key), so the instance
+        # permanently falls back to the scalar FastLTC paths.  clear()
+        # re-enables vectorization on the fresh table.
+        self._vec = False
+        self._kcol = None
+        self._occ = None
+        self._kcol2 = None
+        self._occ2 = None
+
+    def _sync_bucket(self, base: int) -> None:
+        """Refresh the key columns for one bucket after a scalar miss."""
+        kcol = self._kcol
+        occ = self._occ
+        for j in range(base, base + self._d):
+            key = self._keys[j]
+            if key is None:
+                occ[j] = False
+                kcol[j] = 0
+            else:
+                occ[j] = True
+                try:
+                    kcol[j] = key
+                except (OverflowError, TypeError, ValueError):
+                    self._disable_vectorization()
+                    return
+
+    # ----------------------------------------------------------- insertion
+    def _place_miss(self, item: int) -> None:
+        super()._place_miss(item)
+        if self._vec:
+            base = (splitmix64(item ^ self._seed) % self._w) * self._d
+            self._sync_bucket(base)
+
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
+        """Batched arrivals through the columnar kernel.
+
+        Replay-identical to :meth:`FastLTC.insert_many` (same cells, same
+        CLOCK state, same metrics); see the module docstring for the
+        commutation argument.  Falls back to the scalar path without
+        numpy, with the Deviation Eliminator off (set and harvest flags
+        share a bit and stop commuting), or when the batch contains keys
+        outside the uint64 domain.
+        """
+        if counts is not None:
+            items = expand_counts(items, counts)
+        if not self._vec or not self._de:
+            super().insert_many(items)
+            return
+        seq: Sequence[int] = (
+            items if isinstance(items, (list, tuple)) else list(items)
+        )
+        try:
+            arr = _np.asarray(seq, dtype=_np.uint64)
+        except (OverflowError, TypeError, ValueError):
+            super().insert_many(seq)
+            return
+        total = len(seq)
+        if self._m_batch is not None:
+            self._m_batch.observe(total)
+        if self._obs is not None:
+            self._m_inserts.inc(total)
+        if total == 0:
+            return
+        hashed = splitmix64_array(arr ^ _np.uint64(self._seed))
+        w = self._w
+        if w & (w - 1) == 0:
+            # Power-of-two bucket counts (the common sizing) mask instead
+            # of paying the uint64 modulo, which costs ~2x the hash.
+            buckets = (hashed & _np.uint64(w - 1)).astype(_np.int64)
+        else:
+            buckets = (hashed % _np.uint64(w)).astype(_np.int64)
+        slots0 = buckets * self._d
+        for start in range(0, total, _CHUNK):
+            self._ingest_chunk(
+                seq, arr, buckets, slots0, start, min(start + _CHUNK, total)
+            )
+
+    def _ingest_chunk(
+        self,
+        seq: Sequence[int],
+        arr: Any,
+        buckets: Any,
+        slots0: Any,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Classify and apply one chunk against the current table state."""
+        b = buckets[start:stop]
+        s0 = slots0[start:stop]
+        span = stop - start
+        # Row-gather through the (w, d) views: one fancy index per column
+        # instead of materialising a per-event cell-index matrix.
+        eq = (self._kcol2[b] == arr[start:stop, None]) & self._occ2[b]
+        hit = eq.any(axis=1)
+        if hit.all():
+            # All-hit chunk (the steady state on hit-heavy streams): every
+            # event is clean, aggregate with one bincount and advance the
+            # CLOCK over the whole span in one go.
+            adds = _np.bincount(
+                s0 + eq.argmax(axis=1), minlength=self.total_cells
+            )
+            self._freqs += adds
+            self._flags[adds > 0] |= self._set_bit
+            self._advance_and_harvest(span)
+            return
+        # An event is clean iff it hits AND precedes its bucket's first
+        # in-chunk miss: nothing can have mutated its bucket's key set by
+        # its arrival, so the start-state hit stands.
+        misses = _np.flatnonzero(~hit)
+        first_miss = _np.full(self._w, span, dtype=_np.int64)
+        _np.minimum.at(first_miss, b[misses], misses)
+        clean = hit & (_np.arange(span, dtype=_np.int64) < first_miss[b])
+        if clean.any():
+            # Clean hits commute with everything in the chunk: aggregate
+            # them up front with one bincount per chunk.
+            adds = _np.bincount(
+                (s0 + eq.argmax(axis=1))[clean], minlength=self.total_cells
+            )
+            self._freqs += adds
+            self._flags[adds > 0] |= self._set_bit
+        # Remaining events replay one-by-one in stream order, the CLOCK
+        # advanced to each event's exact arrival offset (inlined
+        # on_arrivals arithmetic and hit path, as in FastLTC.insert_many).
+        get = self._slot_of.get
+        freqs = self._freqs
+        flags = self._flags
+        set_bit = self._set_bit
+        miss = self._place_miss
+        clock = self._clock
+        n = clock.items_per_period
+        m = clock.num_cells
+        acc = clock._acc
+        prev = 0
+        for k in _np.flatnonzero(~clean).tolist():
+            gap = k - prev
+            if gap:
+                acc += gap * m
+                steps = acc // n
+                if steps:
+                    acc -= steps * n
+                    self._harvest_segments(steps)
+            item = seq[start + k]
+            slot = get(item)
+            if slot is not None:
+                freqs[slot] += 1
+                flags[slot] |= set_bit
+            else:
+                miss(item)
+            acc += m
+            steps = acc // n
+            if steps:
+                acc -= steps * n
+                self._harvest_segments(steps)
+            prev = k + 1
+        if span > prev:
+            acc += (span - prev) * m
+            steps = acc // n
+            if steps:
+                acc -= steps * n
+                self._harvest_segments(steps)
+        clock._acc = acc
+
+    # ----------------------------------------------------------- harvesting
+    def _advance_and_harvest(self, count: int) -> None:
+        """Advance the CLOCK by ``count`` arrivals, harvesting as slices.
+
+        The accumulator arithmetic inlines
+        :meth:`repro.core.clock.ClockPointer.on_arrivals`; the swept slot
+        range is applied to the flag/counter columns by
+        :meth:`_harvest_segments` instead of a per-slot loop.
+        """
+        clock = self._clock
+        acc = clock._acc + count * clock.num_cells
+        steps = acc // clock.items_per_period
+        clock._acc = acc - steps * clock.items_per_period
+        if steps:
+            self._harvest_segments(steps)
+
+    def _harvest_segments(self, steps: int) -> None:
+        """Sweep ``steps`` slots from the hand as ≤ 2 contiguous slices."""
+        clock = self._clock
+        m = clock.num_cells
+        steps = min(steps, m - clock.scanned_in_period)
+        if steps <= 0:
+            return
+        if steps <= 8:
+            # Array-slice overhead dwarfs a handful of scalar probes.
+            for slot in clock._take(steps):
+                self._harvest(slot)
+            return
+        hand = clock.hand
+        hb = self._harvest_bit
+        first = min(steps, m - hand)
+        flags = self._flags
+        counters = self._counters
+        harvested = 0
+        for a, b in ((hand, hand + first), (0, steps - first)):
+            if b <= a:
+                continue
+            seg = flags[a:b]
+            mask = (seg & hb) != 0
+            if mask.any():
+                counters[a:b][mask] += 1
+                seg &= ~hb
+                harvested += int(mask.sum())
+        clock.hand = (hand + steps) % m
+        clock.scanned_in_period += steps
+        if harvested and self._obs is not None:
+            self._m_harvests.inc(harvested)
+
+    # --------------------------------------------------------------- queries
+    # The numpy columns double as the row storage, so the inherited read
+    # paths would hand numpy scalars (``np.int64`` / ``np.float64``) to
+    # callers — breaking e.g. ``json.dumps`` of a report.  Coerce back to
+    # Python scalars at the public read boundary.
+    def estimate(self, item: int) -> Tuple[int, int]:
+        f, p = super().estimate(item)
+        return int(f), int(p)
+
+    def query(self, item: int) -> float:
+        return float(super().query(item))
+
+    def top_k(self, k: int) -> List[ItemReport]:
+        return [
+            r._replace(significance=float(r.significance))
+            for r in super().top_k(k)
+        ]
+
+    def cells(self) -> Iterator[CellView]:
+        for cv in super().cells():
+            yield cv._replace(
+                frequency=int(cv.frequency), persistency=int(cv.persistency)
+            )
+
+    # ------------------------------------------------------------- lifecycle
+    def clear(self) -> None:
+        """Reset the structure (re-enabling vectorization) to fresh state."""
+        super().clear()
+        self._vec = _np is not None
+        if self._vec:
+            self._columnize()
+
+    def _reindex(self) -> None:
+        """Rebuild the item→slot index and the key columns (restore path).
+
+        The serializer fills the row arrays element-wise (which works on
+        numpy columns), then calls this hook to refresh the derived state.
+        """
+        super()._reindex()
+        if self._vec:
+            self._rebuild_key_columns()

@@ -38,6 +38,14 @@ class LTCConfig:
             Also enabled globally by ``REPRO_SANITIZE=1``.  Excluded from
             config equality/merge compatibility — a sanitized structure
             checkpoints and merges like an unsanitized one.
+        kernel: Which LTC implementation :func:`repro.core.kernels.build_ltc`
+            constructs for this config: ``"reference"`` (the paper-faithful
+            :class:`repro.core.ltc.LTC`), ``"fast"`` (the hash-indexed
+            :class:`repro.core.fast_ltc.FastLTC`) or ``"columnar"`` (the
+            numpy struct-of-arrays :class:`repro.core.columnar.ColumnarLTC`).
+            All three are observably identical (differential-tested);
+            excluded from config equality/merge compatibility for the same
+            reason as ``sanitize``.
     """
 
     num_buckets: int
@@ -50,6 +58,7 @@ class LTCConfig:
     replacement_policy: "str | None" = None
     seed: int = 0x17C
     sanitize: bool = field(default=False, compare=False)
+    kernel: str = field(default="reference", compare=False)
 
     def __post_init__(self) -> None:
         if self.num_buckets < 1:
@@ -68,6 +77,8 @@ class LTCConfig:
             raise ValueError(
                 "replacement_policy must be 'longtail', 'one' or 'space-saving'"
             )
+        if self.kernel not in ("reference", "fast", "columnar"):
+            raise ValueError("kernel must be 'reference', 'fast' or 'columnar'")
         # Normalize the seed to its 64-bit image at construction time.
         # Hashing already reduces modulo 2**64 (splitmix64 masks its
         # input), but the binary checkpoint header stores the masked

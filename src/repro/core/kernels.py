@@ -1,0 +1,38 @@
+"""Kernel selection: build the LTC implementation a config asks for.
+
+Three interchangeable kernels implement the same observable structure
+(differential-tested cell-for-cell against each other):
+
+* ``"reference"`` — :class:`repro.core.ltc.LTC`, the paper-faithful
+  implementation whose per-cell layout matches the 12-byte accounting;
+  accuracy experiments use this one.
+* ``"fast"`` — :class:`repro.core.fast_ltc.FastLTC`, hash-indexed O(1)
+  hit path.
+* ``"columnar"`` — :class:`repro.core.columnar.ColumnarLTC`, numpy
+  struct-of-arrays storage with a vectorized batch path (degrades to
+  FastLTC behaviour without numpy).
+
+Call sites that build an LTC from a config (CLI, experiment factories,
+distributed coordinators/workers) go through :func:`build_ltc` so the
+``LTCConfig.kernel`` field selects the implementation everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core.columnar import ColumnarLTC
+from repro.core.config import LTCConfig
+from repro.core.fast_ltc import FastLTC
+from repro.core.ltc import LTC
+
+KERNELS: Dict[str, Type[LTC]] = {
+    "reference": LTC,
+    "fast": FastLTC,
+    "columnar": ColumnarLTC,
+}
+
+
+def build_ltc(config: LTCConfig) -> LTC:
+    """Construct the LTC kernel selected by ``config.kernel``."""
+    return KERNELS[config.kernel](config)

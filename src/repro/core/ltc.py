@@ -182,7 +182,11 @@ class LTC(StreamSummary):
         """Process one arrival with a wall-clock timestamp.
 
         The CLOCK advances by ``Δt / period_seconds`` of a full sweep, the
-        paper's adaptation to varying arrival speed (§III-B).
+        paper's adaptation to varying arrival speed (§III-B).  Timestamps
+        are quantised to absolute integer ticks and the CLOCK is driven by
+        the tick *delta*, so the sweep state depends only on the latest
+        timestamp — not on how the interval happened to be split across
+        arrivals (or across a checkpoint/restore).
         """
         if period_seconds <= 0:
             raise ValueError("period_seconds must be positive")
@@ -192,8 +196,10 @@ class LTC(StreamSummary):
             self._m_inserts.inc()
         self._place(item)
         if self._last_timestamp is not None:
-            delta = timestamp - self._last_timestamp
-            for slot in self._clock.on_elapsed(delta / period_seconds):
+            ticks = ClockPointer.TICKS_PER_PERIOD
+            prev = round(self._last_timestamp * ticks / period_seconds)
+            cur = round(timestamp * ticks / period_seconds)
+            for slot in self._clock.on_elapsed_ticks(cur - prev):
                 self._harvest(slot)
         self._last_timestamp = timestamp
 

@@ -68,10 +68,12 @@ def merge(
                 key = summary._keys[j]
                 if key is None:
                     continue
-                freq = summary._freqs[j]
-                counter = summary._counters[j]
+                # int() casts: columnar inputs hold numpy scalars, and the
+                # merged reference LTC must stay plain-int for serialization.
+                freq = int(summary._freqs[j])
+                counter = int(summary._counters[j])
                 # Fold pending flags so un-finalized inputs merge sanely.
-                bits = summary._flags[j]
+                bits = int(summary._flags[j])
                 counter += (bits & 1) + (bits >> 1 & 1)
                 if key in combined:
                     old_f, old_c = combined[key]

@@ -20,14 +20,20 @@ Binary format versions:
 * ``LTC1`` (v1) — config, parity, CLOCK ``hand``/``scanned``/``_acc``.
   Readable forever; no longer written.
 * ``LTC2`` (v2) — v1 plus the timed-mode state the v1 header silently
-  dropped: the fractional CLOCK accumulator ``_facc`` and
-  ``LTC._last_timestamp`` (with a presence flag).  Current write format.
+  dropped: a float fractional accumulator and ``LTC._last_timestamp``
+  (with a presence flag).  Readable; no longer written.
+* ``LTC3`` (v3) — v2 with the float accumulator replaced by the integer
+  tick accumulator ``_tacc`` (``ClockPointer.TICKS_PER_PERIOD`` ticks
+  per period), matching the exact time-based CLOCK arithmetic.  Current
+  write format.  Reading a v2 image converts the float fraction to
+  ticks, rounding to the nearest tick.
 
 Both restore paths accept a ``cls=`` parameter (default
 :class:`repro.core.ltc.LTC`) so engineering subclasses such as
 :class:`repro.core.fast_ltc.FastLTC` can be revived as themselves; after
 the cells are filled the subclass hook ``_reindex()`` rebuilds any
-derived lookup state (FastLTC's item→slot index).
+derived lookup state (FastLTC's item→slot index, ColumnarLTC's column
+arrays).
 """
 
 from __future__ import annotations
@@ -36,20 +42,30 @@ import math
 import struct
 from typing import Any, Dict, Optional, Type
 
+from repro.core.clock import ClockPointer
 from repro.core.config import LTCConfig
 from repro.core.ltc import LTC
 
 _MAGIC_V1 = b"LTC1"
 _MAGIC_V2 = b"LTC2"
+_MAGIC_V3 = b"LTC3"
 _EMPTY_KEY = 0xFFFFFFFFFFFFFFFF
 _HEADER_V1 = struct.Struct("<4sIIddIBBBxIIIqQ")
 # v2 appends: facc (double), has_timestamp (byte), last_timestamp (double).
 _HEADER_V2 = struct.Struct("<4sIIddIBBBxIIIqQdBd")
-_HEADER = _HEADER_V2  # the write format
+# v3 replaces the float facc with the integer tick accumulator (uint64).
+_HEADER_V3 = struct.Struct("<4sIIddIBBBxIIIqQQBd")
+_HEADER = _HEADER_V3  # the write format
 _CELL = struct.Struct("<QiiB")
 
 _POLICY_CODES = {None: 0, "longtail": 1, "one": 2, "space-saving": 3}
 _POLICY_NAMES = {code: name for name, code in _POLICY_CODES.items()}
+
+
+def _ticks_from_fraction(facc: float) -> int:
+    """Convert a legacy (v2) fractional accumulator to integer ticks."""
+    ticks = round(facc * ClockPointer.TICKS_PER_PERIOD)
+    return min(max(ticks, 0), ClockPointer.TICKS_PER_PERIOD - 1)
 
 
 def to_state(ltc: LTC) -> Dict[str, Any]:
@@ -72,17 +88,19 @@ def to_state(ltc: LTC) -> Dict[str, Any]:
         "clock": {
             "hand": ltc._clock.hand,
             "acc": ltc._clock._acc,
-            "facc": ltc._clock._facc,
+            "tacc": ltc._clock._tacc,
             "scanned_in_period": ltc._clock.scanned_in_period,
         },
+        # int() casts keep the dict JSON-safe for columnar subclasses
+        # whose cell columns hold numpy scalars.
         "cells": [
             {
-                "key": ltc._keys[j],
-                "freq": ltc._freqs[j],
-                "counter": ltc._counters[j],
-                "flags": ltc._flags[j],
+                "key": key if key is None else int(key),
+                "freq": int(ltc._freqs[j]),
+                "counter": int(ltc._counters[j]),
+                "flags": int(ltc._flags[j]),
             }
-            for j in range(ltc.total_cells)
+            for j, key in enumerate(ltc._keys)
         ],
     }
 
@@ -90,8 +108,9 @@ def to_state(ltc: LTC) -> Dict[str, Any]:
 def from_state(state: Dict[str, Any], cls: Type[LTC] = LTC) -> LTC:
     """Rebuild an LTC (or subclass ``cls``) from :func:`to_state` output.
 
-    States written before the format carried ``facc``/``last_timestamp``
-    restore with those fields at their fresh-structure defaults.
+    States written before the format carried the timed-mode fields
+    restore with those fields at their fresh-structure defaults; legacy
+    states carrying a float ``facc`` restore via tick conversion.
     """
     ltc = cls(LTCConfig(**state["config"]))
     cells = state["cells"]
@@ -120,19 +139,22 @@ def _restore_dynamic(
         ltc._harvest_bit = 1 << (parity ^ 1)
     ltc._clock.hand = clock["hand"]
     ltc._clock._acc = clock["acc"]
-    ltc._clock._facc = clock.get("facc", 0.0)
+    if "tacc" in clock:
+        ltc._clock._tacc = clock["tacc"]
+    else:
+        ltc._clock._tacc = _ticks_from_fraction(clock.get("facc", 0.0))
     ltc._clock.scanned_in_period = clock["scanned_in_period"]
     ltc._last_timestamp = last_timestamp
     ltc._reindex()
 
 
 def to_bytes(ltc: LTC) -> bytes:
-    """Serialise an LTC to a compact binary image (v2 format)."""
+    """Serialise an LTC to a compact binary image (v3 format)."""
     cfg = ltc.config
     policy_code = _POLICY_CODES[cfg.replacement_policy]
     ts = ltc._last_timestamp
-    header = _HEADER_V2.pack(
-        _MAGIC_V2,
+    header = _HEADER_V3.pack(
+        _MAGIC_V3,
         cfg.num_buckets,
         cfg.bucket_width,
         cfg.alpha,
@@ -148,18 +170,17 @@ def to_bytes(ltc: LTC) -> bytes:
         # Already 64-bit (LTCConfig normalizes at construction); the mask
         # stays as a guard for configs built before that invariant.
         cfg.seed & 0xFFFFFFFFFFFFFFFF,
-        ltc._clock._facc,
+        ltc._clock._tacc,
         int(ts is not None),
         0.0 if ts is None else ts,
     )
     cells = bytearray()
-    for j in range(ltc.total_cells):
-        key = ltc._keys[j]
+    for j, key in enumerate(ltc._keys):
         cells += _CELL.pack(
-            _EMPTY_KEY if key is None else key,
-            ltc._freqs[j],
-            ltc._counters[j],
-            ltc._flags[j],
+            _EMPTY_KEY if key is None else int(key),
+            int(ltc._freqs[j]),
+            int(ltc._counters[j]),
+            int(ltc._flags[j]),
         )
     return header + bytes(cells)
 
@@ -167,11 +188,14 @@ def to_bytes(ltc: LTC) -> bytes:
 def from_bytes(blob: bytes, cls: Type[LTC] = LTC) -> LTC:
     """Restore an LTC (or subclass ``cls``) from :func:`to_bytes` output.
 
-    Reads both the current v2 images and legacy v1 ``LTC1`` images (whose
+    Reads the current v3 images plus legacy v2 ``LTC2`` (float
+    accumulator, converted to ticks) and v1 ``LTC1`` images (whose
     timed-mode accumulator and last timestamp restore as fresh defaults).
     """
     magic = blob[:4]
-    if magic == _MAGIC_V2:
+    if magic == _MAGIC_V3:
+        header_struct = _HEADER_V3
+    elif magic == _MAGIC_V2:
         header_struct = _HEADER_V2
     elif magic == _MAGIC_V1:
         header_struct = _HEADER_V1
@@ -194,13 +218,15 @@ def from_bytes(blob: bytes, cls: Type[LTC] = LTC) -> LTC:
         acc,
         seed,
     ) = fields[:14]
-    if magic == _MAGIC_V2:
-        facc, has_ts, last_timestamp_raw = fields[14:]
-        last_timestamp: Optional[float] = last_timestamp_raw if has_ts else None
+    last_timestamp: Optional[float]
+    if magic == _MAGIC_V1:
+        tacc, last_timestamp = 0, None
+    else:
+        raw_acc, has_ts, last_timestamp_raw = fields[14:]
+        last_timestamp = last_timestamp_raw if has_ts else None
         if last_timestamp is not None and math.isnan(last_timestamp):
             raise ValueError("corrupt LTC image (NaN timestamp)")
-    else:
-        facc, last_timestamp = 0.0, None
+        tacc = _ticks_from_fraction(raw_acc) if magic == _MAGIC_V2 else raw_acc
     if policy_code not in _POLICY_NAMES:
         raise ValueError(f"corrupt LTC image (unknown policy code {policy_code})")
     policy = _POLICY_NAMES[policy_code]
@@ -230,7 +256,7 @@ def from_bytes(blob: bytes, cls: Type[LTC] = LTC) -> LTC:
     _restore_dynamic(
         ltc,
         parity,
-        {"hand": hand, "acc": acc, "facc": facc, "scanned_in_period": scanned},
+        {"hand": hand, "acc": acc, "tacc": tacc, "scanned_in_period": scanned},
         last_timestamp,
     )
     return ltc

@@ -8,6 +8,7 @@ from typing import List, Sequence, Tuple
 
 from repro import obs
 from repro.core.config import LTCConfig
+from repro.core.kernels import build_ltc
 from repro.core.ltc import LTC
 from repro.core.merge import merge
 from repro.core.serialize import to_bytes
@@ -94,7 +95,7 @@ class MergingCoordinator:
                 items_per_period=stream.period_length
             )
             started = time.perf_counter()
-            ltc = LTC(site_config)
+            ltc = build_ltc(site_config)
             stream.run(ltc, batched=self.batched)
             communication += len(to_bytes(ltc))
             if site_timer is not None:

@@ -43,6 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.config import LTCConfig
+from repro.core.kernels import build_ltc
 from repro.core.ltc import LTC
 from repro.core.merge import merge
 from repro.core.serialize import from_bytes, to_bytes
@@ -116,7 +117,7 @@ def ingest_shard(
             worker hard-exits (as if killed) after ingesting this many
             periods.  ``None`` disables injection.
     """
-    ltc = LTC(config)
+    ltc = build_ltc(config)
     insert_many = ltc.insert_many
     end_period = ltc.end_period
     for index, batch in enumerate(batches):

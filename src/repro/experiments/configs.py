@@ -10,6 +10,8 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.combined.two_structure import TwoStructureSignificant
+from repro.core.config import LTCConfig
+from repro.core.kernels import build_ltc
 from repro.core.ltc import LTC
 from repro.metrics.memory import MemoryBudget
 from repro.persistent.pie import PIE
@@ -54,26 +56,32 @@ def ltc_factory(
     beta: float,
     **options,
 ) -> Callable[[], LTC]:
-    """Factory for a paper-default LTC sized for ``budget``."""
+    """Factory for a paper-default LTC sized for ``budget``.
+
+    ``options`` forwards to :class:`repro.core.config.LTCConfig` — in
+    particular ``kernel=`` selects the implementation
+    (:func:`repro.core.kernels.build_ltc`).
+    """
 
     def build() -> LTC:
-        return LTC.from_memory(
+        config = LTCConfig.from_memory(
             budget,
             items_per_period=stream.period_length,
             alpha=alpha,
             beta=beta,
             **options,
         )
+        return build_ltc(config)
 
     return build
 
 
 def default_algorithms_frequent(
-    budget: MemoryBudget, stream: PeriodicStream, k: int
+    budget: MemoryBudget, stream: PeriodicStream, k: int, **ltc_options
 ) -> Dict[str, Callable[[], object]]:
     """The Fig. 9/10 line-up: LTC vs SS, LC, Frequent, CM, CU, Count."""
     return {
-        "LTC": ltc_factory(budget, stream, alpha=1.0, beta=0.0),
+        "LTC": ltc_factory(budget, stream, alpha=1.0, beta=0.0, **ltc_options),
         "SS": lambda: SpaceSaving.from_memory(budget),
         "LC": lambda: LossyCounting.from_memory(budget),
         "Freq": lambda: Frequent.from_memory(budget),
@@ -84,12 +92,12 @@ def default_algorithms_frequent(
 
 
 def default_algorithms_persistent(
-    budget: MemoryBudget, stream: PeriodicStream, k: int
+    budget: MemoryBudget, stream: PeriodicStream, k: int, **ltc_options
 ) -> Dict[str, Callable[[], object]]:
     """The Fig. 12/13 line-up: LTC vs PIE (T× memory) and BF+sketch+heap."""
     per_period = stream.period_length
     return {
-        "LTC": ltc_factory(budget, stream, alpha=0.0, beta=1.0),
+        "LTC": ltc_factory(budget, stream, alpha=0.0, beta=1.0, **ltc_options),
         # Paper §V-C: PIE keeps one filter per period, so it receives the
         # default budget *per period* (T times the total).
         "PIE": lambda: PIE.from_memory(budget),
@@ -111,11 +119,12 @@ def default_algorithms_significant(
     k: int,
     alpha: float,
     beta: float,
+    **ltc_options,
 ) -> Dict[str, Callable[[], object]]:
     """The Fig. 14/15 line-up: LTC vs the two-structure CU and CM combos
     (CU is the paper's strongest baseline; CM shown for reference)."""
     return {
-        "LTC": ltc_factory(budget, stream, alpha=alpha, beta=beta),
+        "LTC": ltc_factory(budget, stream, alpha=alpha, beta=beta, **ltc_options),
         "CU+CU": lambda: TwoStructureSignificant.from_memory(
             CUSketch, budget, k, alpha, beta
         ),

@@ -145,8 +145,12 @@ def _check_ltc_clock(ltc: "LTC") -> None:
             "clock_accumulator_in_range",
             f"acc={clock._acc} outside [0, {clock.items_per_period})",
         )
-    if not 0.0 <= clock._facc < 1.0:
-        _fail(ltc, "clock_accumulator_in_range", f"facc={clock._facc} outside [0, 1)")
+    if not 0 <= clock._tacc < clock.TICKS_PER_PERIOD:
+        _fail(
+            ltc,
+            "clock_accumulator_in_range",
+            f"tacc={clock._tacc} outside [0, {clock.TICKS_PER_PERIOD})",
+        )
     if ltc._parity not in (0, 1):
         _fail(ltc, "parity_domain", f"parity={ltc._parity}")
     if ltc._de:
@@ -186,17 +190,43 @@ def _check_ltc_index(ltc: "LTC") -> None:
         )
 
 
+def _check_ltc_columns(ltc: "LTC") -> None:
+    # ColumnarLTC mirrors the key list into fingerprint/occupancy columns
+    # for vectorized probing; the mirror must agree with the row state.
+    kcol = getattr(ltc, "_kcol", None)
+    occ = getattr(ltc, "_occ", None)
+    if kcol is None or occ is None:
+        return
+    for j, key in enumerate(ltc._keys):
+        occupied = bool(occ[j])
+        if occupied != (key is not None):
+            _fail(
+                ltc,
+                "columns_match_cells",
+                f"occupancy column says {occupied} at cell {j}, key list "
+                f"holds {key!r}",
+            )
+        if occupied and int(kcol[j]) != key:
+            _fail(
+                ltc,
+                "columns_match_cells",
+                f"fingerprint column holds {int(kcol[j])} at cell {j}, key "
+                f"list holds {key!r}",
+            )
+
+
 def check_ltc(ltc: "LTC", cells: Optional[Iterable[int]] = None) -> None:
     """Validate the structural invariants of an LTC (or subclass).
 
     ``cells`` restricts the scan to the given slot indices; the default
-    checks the whole table, the CLOCK state, and (for FastLTC) the
-    item→slot index.  The ``persistency <= frequency`` check counts
-    un-harvested flags as pending persistency credit, so a decrement that
-    strands excess credit is caught at the mutation site — before the
-    harvest that would materialise the violation.  The check is skipped
-    for the ``space-saving`` ablation policy, which overestimates by
-    design (§I-C).
+    checks the whole table, the CLOCK state, (for FastLTC) the item→slot
+    index, and (for ColumnarLTC) the fingerprint/occupancy columns.  The
+    ``persistency <= frequency`` check counts un-harvested flags as
+    pending persistency credit, so a decrement that strands excess credit
+    is caught at the mutation site — before the harvest that would
+    materialise the violation.  The check is skipped for the
+    ``space-saving`` ablation policy, which overestimates by design
+    (§I-C).
     """
     strong = ltc._policy != "space-saving"
     if cells is None:
@@ -204,6 +234,7 @@ def check_ltc(ltc: "LTC", cells: Optional[Iterable[int]] = None) -> None:
             _check_ltc_cell(ltc, j, strong)
         _check_ltc_clock(ltc)
         _check_ltc_index(ltc)
+        _check_ltc_columns(ltc)
     else:
         for j in cells:
             _check_ltc_cell(ltc, j, strong)

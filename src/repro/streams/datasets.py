@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Tuple
+from typing import Any, Callable, List, Tuple
 
 from repro.streams.model import PeriodicStream
 from repro.streams.synthetic import zipf_frequencies
@@ -73,6 +73,7 @@ def temporal_zipf_stream(
     timed: List[Tuple[float, int]] = []
     for item_id, f in zip(ids, freqs):
         bursty = rng.random() < burst_fraction
+        sampler: Callable[[], float]
         if bursty:
             width = max(burst_width * rng.random(), 1.0 / max(num_periods, 1))
             start = rng.random() * (1.0 - width)
@@ -191,7 +192,7 @@ DATASETS = {
 }
 
 
-def load_dataset(name: str, **kwargs) -> PeriodicStream:
+def load_dataset(name: str, **kwargs: Any) -> PeriodicStream:
     """Build one of the three paper-dataset substitutes by name."""
     try:
         factory = DATASETS[name]

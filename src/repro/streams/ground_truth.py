@@ -8,7 +8,7 @@ persistency, then answers top-k significance queries for any ``(α, β)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.streams.model import PeriodicStream
 
@@ -16,10 +16,10 @@ from repro.streams.model import PeriodicStream
 class GroundTruth:
     """Exact per-item statistics of a periodic stream."""
 
-    def __init__(self, stream: PeriodicStream):
+    def __init__(self, stream: PeriodicStream) -> None:
         freq: Dict[int, int] = {}
         pers: Dict[int, int] = {}
-        seen_this_period: set = set()
+        seen_this_period: Set[int] = set()
         for period in stream.iter_periods():
             seen_this_period.clear()
             for item in period:
@@ -65,7 +65,7 @@ class GroundTruth:
         scored.sort(key=lambda pair: (-pair[0], pair[1]))
         return [(item, sig) for sig, item in scored[:k]]
 
-    def top_k_items(self, k: int, alpha: float, beta: float) -> set:
+    def top_k_items(self, k: int, alpha: float, beta: float) -> Set[int]:
         """The exact top-k item set (the paper's φ)."""
         return {item for item, _ in self.top_k(k, alpha, beta)}
 

@@ -19,7 +19,7 @@ Non-integer item ids are accepted and canonicalised to 64-bit keys with
 from __future__ import annotations
 
 import io
-from typing import List, TextIO, Tuple, Union
+from typing import Iterator, List, Sequence, TextIO, Tuple, Union
 
 from repro.hashing.family import canonical_key
 from repro.streams.model import PeriodicStream
@@ -27,7 +27,7 @@ from repro.streams.model import PeriodicStream
 Source = Union[str, TextIO]
 
 
-def _open(source: Source):
+def _open(source: Source) -> Tuple[TextIO, bool]:
     if isinstance(source, str):
         return open(source, "r"), True
     return source, False
@@ -125,7 +125,9 @@ class TimeBinnedStream(PeriodicStream):
     overrides the period logic accordingly.
     """
 
-    def __init__(self, events, boundaries: List[int], name: str = "trace"):
+    def __init__(
+        self, events: List[int], boundaries: List[int], name: str = "trace"
+    ) -> None:
         # boundaries[i] = first event index of period i+1; len == T-1.
         self._boundaries = list(boundaries)
         super().__init__(
@@ -179,7 +181,7 @@ class TimeBinnedStream(PeriodicStream):
 
         return bisect.bisect_right(self._boundaries, event_index)
 
-    def iter_periods(self):
+    def iter_periods(self) -> Iterator[Sequence[int]]:
         """Yield each time bin's arrivals, in order."""
         starts = [0] + self._boundaries
         ends = self._boundaries + [len(self.events)]

@@ -10,7 +10,7 @@ protocol ``insert(item)`` / ``end_period()`` / ``finalize()``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from typing import Any, Iterator, List, Sequence
 
 
 @dataclass(frozen=True)
@@ -100,7 +100,7 @@ class PeriodicStream:
         """
         return [list(period) for period in self.iter_periods()]
 
-    def run(self, summary, *, batched: bool = False) -> None:
+    def run(self, summary: Any, *, batched: bool = False) -> None:
         """Feed the entire stream through ``summary``.
 
         Calls ``summary.insert(item)`` for every arrival, ``end_period()``

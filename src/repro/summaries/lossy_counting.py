@@ -15,6 +15,7 @@ the paper applies to make all algorithms memory-comparable.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
@@ -72,9 +73,12 @@ class LossyCounting(StreamSummary):
         constant within a chunk; inside a chunk, maximal runs of hits and
         free-slot adds fold to multiplicities applied in first-occurrence
         order (``_shed`` breaks count ties by dict insertion order, so
-        the order is part of the replicated state).  The run-breaking
-        event — a new item against a full table, which sheds — is
-        delegated to :meth:`insert`.
+        the order is part of the replicated state).  When every distinct
+        item of the chunk fits without shedding, the whole chunk folds in
+        one C-speed :class:`collections.Counter` pass (``Counter``
+        preserves first-occurrence order).  The run-breaking event — a
+        new item against a full table, which sheds — is delegated to
+        :meth:`insert`.
         """
         if counts is not None:
             items = expand_counts(items, counts)
@@ -89,6 +93,29 @@ class LossyCounting(StreamSummary):
         i = 0
         while i < total:
             limit = min(total, i + width - self._seen % width)
+            folded = Counter(items[i:limit])
+            free = capacity - len(entries)
+            for key in folded:
+                if key not in entries:
+                    free -= 1
+                    if free < 0:
+                        break
+            if free >= 0:
+                delta = self._bucket_id - 1
+                get = entries.get
+                for item, arrivals in folded.items():
+                    entry = get(item)
+                    if entry is not None:
+                        entries[item] = (entry[0] + arrivals, entry[1])
+                    else:
+                        entries[item] = (arrivals, delta)
+                self._seen += limit - i
+                i = limit
+                if self._seen % width == 0:
+                    self._prune()
+                    self._bucket_id += 1
+                    entries = self._entries  # _prune rebinds the dict
+                continue
             mult: Dict[int, int] = {}
             free = capacity - len(entries)
             j = i

@@ -5,7 +5,7 @@ is exercised differentially: a stream is split at a random point, the
 prefix-built structure is checkpointed and restored (dict and binary
 formats), the suffix is replayed on the restored copy, and the result
 must be bit-identical to a run that never checkpointed — including the
-timed-mode state (``_clock._facc``, ``_last_timestamp``) that the v1
+timed-mode state (``_clock._tacc``, ``_last_timestamp``) that the v1
 format silently dropped.
 """
 
@@ -32,7 +32,7 @@ def identical(a: LTC, b: LTC) -> None:
     assert list(a.cells()) == list(b.cells())
     assert a._clock.hand == b._clock.hand
     assert a._clock._acc == b._clock._acc
-    assert a._clock._facc == b._clock._facc
+    assert a._clock._tacc == b._clock._tacc
     assert a._clock.scanned_in_period == b._clock.scanned_in_period
     assert a._parity == b._parity
     assert a._last_timestamp == b._last_timestamp

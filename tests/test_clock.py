@@ -106,3 +106,69 @@ class TestTimeBased:
         scanned = clock.on_elapsed(3.5)  # pathological burst of lateness
         assert sorted(scanned) == list(range(8))
         assert clock.end_period() == []
+
+
+class TestTickArithmetic:
+    """The integer-tick accumulator: exact, split-invariant advancement.
+
+    Regression for the float accumulator this replaced, which summed
+    ``Δt/t · m`` in binary floating point: many tiny deltas accumulated
+    rounding error, so a period's worth of arrivals could scan ``m − 1``
+    slots (the lost slot's persistency silently stalled).  Integer tick
+    deltas telescope, so these tests pin exactness for the adversarial
+    split counts that demonstrably drifted the old code (e.g. ``m=64``
+    split 977 ways lost a slot).
+    """
+
+    @pytest.mark.parametrize(
+        "m, splits", [(8, 3), (13, 97), (64, 977), (128, 49), (4096, 97)]
+    )
+    def test_equal_splits_of_one_period_scan_every_cell(self, m, splits):
+        clock = ClockPointer(num_cells=m, items_per_period=1)
+        prev = 0
+        scanned = []
+        for i in range(1, splits + 1):
+            # Quantise the *absolute* time i/splits to ticks, feed deltas
+            # — exactly what LTC.insert_timed does.
+            cur = round(i / splits * ClockPointer.TICKS_PER_PERIOD)
+            scanned.extend(clock.on_elapsed_ticks(cur - prev))
+            prev = cur
+        assert sorted(scanned) == list(range(m))
+        assert clock._tacc == 0
+        assert clock.end_period() == []
+
+    def test_rejects_negative_ticks(self):
+        with pytest.raises(ValueError):
+            ClockPointer(10, 1).on_elapsed_ticks(-1)
+
+    @given(
+        m=st.integers(1, 100),
+        deltas=st.lists(st.integers(0, 1 << 34), min_size=1, max_size=50),
+        cut=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tick_advancement_telescopes(self, m, deltas, cut):
+        """Any split of an elapsed interval lands the pointer in the
+        identical state: hand, residue, and scanned count all match."""
+        merged = ClockPointer(num_cells=m, items_per_period=1)
+        split = ClockPointer(num_cells=m, items_per_period=1)
+        merged.on_elapsed_ticks(sum(deltas))
+        for delta in deltas:
+            split.on_elapsed_ticks(delta)
+        assert split.hand == merged.hand
+        assert split._tacc == merged._tacc
+        assert split.scanned_in_period == merged.scanned_in_period
+
+    def test_fraction_wrapper_quantises_exactly(self):
+        """on_elapsed(f) == on_elapsed_ticks(floor(f · T)) for any float,
+        via exact integer arithmetic on the float's rational value."""
+        for fraction in (0.1, 1 / 3, 0.875, 1e-12, 2.5):
+            via_float = ClockPointer(num_cells=16, items_per_period=1)
+            via_ticks = ClockPointer(num_cells=16, items_per_period=1)
+            via_float.on_elapsed(fraction)
+            numerator, denominator = fraction.as_integer_ratio()
+            via_ticks.on_elapsed_ticks(
+                numerator * ClockPointer.TICKS_PER_PERIOD // denominator
+            )
+            assert via_float.hand == via_ticks.hand
+            assert via_float._tacc == via_ticks._tacc

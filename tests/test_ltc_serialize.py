@@ -127,7 +127,7 @@ class TestBytesRoundTrip:
 
 
 class TestTimedStateRoundTrip:
-    """The v2 fields: ``_clock._facc`` and ``LTC._last_timestamp``."""
+    """The timed-mode fields: ``_clock._tacc`` and ``LTC._last_timestamp``."""
 
     def drive_timed(self, ltc: LTC, arrivals) -> None:
         for item, ts in arrivals:
@@ -148,10 +148,10 @@ class TestTimedStateRoundTrip:
         [lambda l: from_state(to_state(l)), lambda l: from_bytes(to_bytes(l))],
         ids=["state", "bytes"],
     )
-    def test_facc_and_timestamp_survive(self, roundtrip):
+    def test_tacc_and_timestamp_survive(self, roundtrip):
         ltc = self.timed_ltc()
         restored = roundtrip(ltc)
-        assert restored._clock._facc == ltc._clock._facc
+        assert restored._clock._tacc == ltc._clock._tacc
         assert restored._last_timestamp == ltc._last_timestamp
         assert snapshots_equal(ltc, restored)
 
@@ -170,15 +170,26 @@ class TestTimedStateRoundTrip:
         restored = from_bytes(to_bytes(ltc))
         assert restored._last_timestamp is None
 
-    def test_state_without_v2_fields_still_restores(self):
-        """Dict states written by the previous format lack facc and
-        last_timestamp; they restore with fresh defaults."""
+    def test_state_without_timed_fields_still_restores(self):
+        """Dict states written by the v1 format lack the timed-mode
+        accumulator and last_timestamp; they restore with fresh defaults."""
         state = to_state(build_ltc([1, 2, 1]))
         del state["last_timestamp"]
-        del state["clock"]["facc"]
+        del state["clock"]["tacc"]
         restored = from_state(state)
-        assert restored._clock._facc == 0.0
+        assert restored._clock._tacc == 0
         assert restored._last_timestamp is None
+
+    def test_legacy_facc_state_restores_as_ticks(self):
+        """Dict states written by the v2 format carry a float ``facc``;
+        it restores as the nearest integer tick count."""
+        from repro.core.clock import ClockPointer
+
+        state = to_state(self.timed_ltc())
+        tacc = state["clock"].pop("tacc")
+        state["clock"]["facc"] = tacc / ClockPointer.TICKS_PER_PERIOD
+        restored = from_state(state)
+        assert restored._clock._tacc == tacc
 
 
 class TestSubclassRestore:
@@ -225,6 +236,32 @@ class TestSubclassRestore:
         assert snapshots_equal(fast, restored)
         assert restored._slot_of == fast._slot_of
 
+    @pytest.mark.parametrize(
+        "roundtrip",
+        [
+            lambda l, cls: from_state(to_state(l), cls=cls),
+            lambda l, cls: from_bytes(to_bytes(l), cls=cls),
+        ],
+        ids=["state", "bytes"],
+    )
+    def test_columnar_ltc_roundtrip(self, roundtrip):
+        from repro.core.columnar import ColumnarLTC
+
+        columnar = roundtrip(self.fast_ltc(), ColumnarLTC)
+        assert type(columnar) is ColumnarLTC
+        assert snapshots_equal(self.fast_ltc(), columnar)
+        assert columnar._slot_of == self.fast_ltc()._slot_of
+
+    def test_restored_columnar_ltc_continues_identically(self):
+        from repro.core.columnar import ColumnarLTC
+
+        fast = self.fast_ltc()
+        restored = from_bytes(to_bytes(fast), cls=ColumnarLTC)
+        restored.insert_many([1, 7, 1, 8, 2])
+        for item in (1, 7, 1, 8, 2):
+            fast.insert(item)
+        assert snapshots_equal(fast, restored)
+
     def test_default_cls_is_reference_ltc(self):
         restored = from_bytes(to_bytes(self.fast_ltc()))
         assert type(restored) is LTC
@@ -256,10 +293,11 @@ class TestFormatStability:
     """Golden-image tests: the binary layout is a persistence format, so
     accidental drift (field reorder, width change) must fail loudly.
 
-    ``GOLDEN_HEX_V2`` pins the current write format; ``GOLDEN_HEX_V1`` is
-    a legacy ``LTC1`` image that must stay readable forever (it predates
-    the v2 fields ``_facc``/``_last_timestamp``, which restore as fresh
-    defaults).
+    ``GOLDEN_HEX_V3`` pins the current write format; ``GOLDEN_HEX_V1``
+    and ``GOLDEN_HEX_V2`` are legacy ``LTC1``/``LTC2`` images that must
+    stay readable forever (v1 predates the timed-mode fields, which
+    restore as fresh defaults; v2 carries them with a float accumulator
+    that restores via tick conversion).
     """
 
     GOLDEN_HEX_V1 = (
@@ -269,6 +307,12 @@ class TestFormatStability:
     )
     GOLDEN_HEX_V2 = (
         "4c5443320100000002000000000000000000f03f0000000000000040030000000101"
+        "00000100000000000000000000000000000000000000070000000000000000000000"
+        "000000000000000000000000000a000000000000000200000000000000010b000000"
+        "00000000010000000000000001"
+    )
+    GOLDEN_HEX_V3 = (
+        "4c5443330100000002000000000000000000f03f0000000000000040030000000101"
         "00000100000000000000000000000000000000000000070000000000000000000000"
         "000000000000000000000000000a000000000000000200000000000000010b000000"
         "00000000010000000000000001"
@@ -291,30 +335,32 @@ class TestFormatStability:
         return ltc
 
     def test_serialisation_matches_golden_image(self):
-        assert to_bytes(self.make_golden_ltc()).hex() == self.GOLDEN_HEX_V2
+        assert to_bytes(self.make_golden_ltc()).hex() == self.GOLDEN_HEX_V3
 
     def test_golden_image_deserialises(self):
-        restored = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V2))
+        restored = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V3))
         assert restored.estimate(10) == (2, 0)
         assert restored.estimate(11) == (1, 0)
         assert restored.config.beta == 2.0
 
-    def test_v1_golden_image_still_readable(self):
-        restored = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V1))
+    @pytest.mark.parametrize("hex_name", ["GOLDEN_HEX_V1", "GOLDEN_HEX_V2"])
+    def test_legacy_golden_images_still_readable(self, hex_name):
+        restored = from_bytes(bytes.fromhex(getattr(self, hex_name)))
         assert restored.estimate(10) == (2, 0)
         assert restored.estimate(11) == (1, 0)
         assert restored.config.beta == 2.0
-        assert restored._clock._facc == 0.0
+        assert restored._clock._tacc == 0
         assert restored._last_timestamp is None
 
-    def test_v1_image_equivalent_to_v2_for_count_based_state(self):
-        """A v1 image of a count-driven LTC restores to the same cells
-        and CLOCK phase as the v2 image of the same structure."""
+    def test_legacy_images_equivalent_for_count_based_state(self):
+        """v1/v2 images of a count-driven LTC restore to the same cells
+        and CLOCK phase as the v3 image of the same structure."""
         via_v1 = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V1))
         via_v2 = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V2))
-        assert list(via_v1.cells()) == list(via_v2.cells())
-        assert via_v1._clock.hand == via_v2._clock.hand
-        assert via_v1._clock._acc == via_v2._clock._acc
+        via_v3 = from_bytes(bytes.fromhex(self.GOLDEN_HEX_V3))
+        assert list(via_v1.cells()) == list(via_v2.cells()) == list(via_v3.cells())
+        assert via_v1._clock.hand == via_v2._clock.hand == via_v3._clock.hand
+        assert via_v1._clock._acc == via_v2._clock._acc == via_v3._clock._acc
 
 
 class TestSeedRoundTrip:

@@ -75,6 +75,56 @@ class TestTimedInsertion:
         assert f == 40
         assert p == 4
 
+    def test_adversarial_split_still_scans_every_cell(self):
+        """Regression: a period chopped into 977 equal Δt slices must
+        still sweep all ``m`` cells by the boundary.
+
+        The retired float accumulator summed ``Δt/t · m`` per arrival, so
+        this exact sequence accumulated enough rounding error to scan
+        only ``m − 1`` slots — one cell's persistency silently stalled
+        every period.  Tick quantisation of absolute timestamps
+        telescopes, making the sweep exact for any split.
+        """
+        ltc = timed_ltc(num_buckets=8, bucket_width=8)  # m = 64
+        splits = 977
+        ltc.insert_timed(7, timestamp=0.0, period_seconds=1.0)  # anchor
+        for i in range(1, splits + 1):
+            ltc.insert_timed(7, timestamp=i / splits, period_seconds=1.0)
+        assert ltc._clock.scanned_in_period == ltc.total_cells
+        assert ltc._clock._tacc == 0
+
+    def test_clock_state_depends_only_on_latest_timestamp(self):
+        """Extra arrivals inside an interval cannot move the sweep: two
+        structures seeing the same final timestamp hold identical CLOCK
+        state however the interval was subdivided."""
+        coarse = timed_ltc(num_buckets=8, bucket_width=8)
+        fine = timed_ltc(num_buckets=8, bucket_width=8)
+        coarse.insert_timed(1, timestamp=0.0, period_seconds=1.0)
+        fine.insert_timed(1, timestamp=0.0, period_seconds=1.0)
+        coarse.insert_timed(1, timestamp=0.7, period_seconds=1.0)
+        for i in range(1, 211):
+            fine.insert_timed(1, timestamp=0.7 * i / 210, period_seconds=1.0)
+        for attr in ("hand", "_tacc", "scanned_in_period"):
+            assert getattr(fine._clock, attr) == getattr(coarse._clock, attr)
+
+    def test_checkpoint_mid_interval_is_byte_identical(self):
+        """Checkpointing between two timed arrivals and resuming produces
+        a byte-identical structure to the uninterrupted run."""
+        from repro.core.serialize import from_bytes, to_bytes
+
+        schedule = [(1, 0.13), (2, 0.41), (1, 0.98), (3, 1.77), (2, 2.09)]
+        straight = timed_ltc()
+        for item, ts in schedule:
+            straight.insert_timed(item, timestamp=ts, period_seconds=0.9)
+
+        resumed = timed_ltc()
+        for item, ts in schedule[:2]:
+            resumed.insert_timed(item, timestamp=ts, period_seconds=0.9)
+        resumed = from_bytes(to_bytes(resumed))
+        for item, ts in schedule[2:]:
+            resumed.insert_timed(item, timestamp=ts, period_seconds=0.9)
+        assert to_bytes(resumed) == to_bytes(straight)
+
     def test_persistency_exact_for_timed_gap_pattern(self):
         """An item present only in periods 0 and 2 (timed drive)."""
         ltc = timed_ltc()
