@@ -118,6 +118,58 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("-k", type=int, default=100)
     plan.add_argument("--target-rate", type=float, default=0.9)
     plan.add_argument("-d", "--bucket-width", type=int, default=8)
+    serve = sub.add_parser("serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8421,
+        help="listen port (0 = ephemeral; the bound port is printed as "
+        "'serving on HOST:PORT' once ready)",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=["reference", "fast", "columnar"],
+        default="columnar",
+        help="LTC kernel to serve (columnar default: fastest ingest)",
+    )
+    serve.add_argument("--num-buckets", type=int, default=1024)
+    serve.add_argument("-d", "--bucket-width", type=int, default=8)
+    serve.add_argument("--alpha", type=float, default=1.0)
+    serve.add_argument("--beta", type=float, default=1.0)
+    serve.add_argument("--items-per-period", type=int, default=4096)
+    serve.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="rotating checkpoint directory (repro.serve.snapshots); on "
+        "startup the newest intact snapshot is restored, and a final one "
+        "is written on clean shutdown",
+    )
+    serve.add_argument(
+        "--snapshot-retain",
+        type=int,
+        default=3,
+        help="snapshots kept in --snapshot-dir (older ones are pruned)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=0,
+        metavar="BATCHES",
+        help="also checkpoint every N ingested batches (0 = only at "
+        "shutdown)",
+    )
+    serve.add_argument(
+        "--check-oracle",
+        action="store_true",
+        help="compare every served answer byte-for-byte against the "
+        "full-scan oracle (debug/bench; costs a table scan per query)",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="do not enable repro.obs (GET /metrics then returns 503)",
+    )
     stats = sub.add_parser("stats")
     stats.add_argument(
         "snapshot",
@@ -346,6 +398,57 @@ def _stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """Run the serving tier (repro.serve) until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.core.config import LTCConfig
+    from repro.core.kernels import KERNELS, build_ltc
+    from repro.serve.server import ServingApp, run_app
+    from repro.serve.snapshots import SnapshotStore
+
+    if not args.no_metrics and not obs.is_enabled():
+        obs.enable()
+    store = (
+        SnapshotStore(args.snapshot_dir, retain=args.snapshot_retain)
+        if args.snapshot_dir
+        else None
+    )
+    ltc = store.restore(cls=KERNELS[args.kernel]) if store is not None else None
+    if ltc is not None:
+        print(f"restored {ltc.total_cells}-cell structure from snapshot", flush=True)
+    else:
+        ltc = build_ltc(
+            LTCConfig(
+                num_buckets=args.num_buckets,
+                bucket_width=args.bucket_width,
+                alpha=args.alpha,
+                beta=args.beta,
+                items_per_period=args.items_per_period,
+                kernel=args.kernel,
+            )
+        )
+    app = ServingApp(
+        ltc,
+        snapshots=store,
+        snapshot_every=args.snapshot_every,
+        check_oracle=args.check_oracle,
+    )
+
+    def _ready(host: str, port: int) -> None:
+        print(f"serving on {host}:{port}", flush=True)
+
+    try:
+        asyncio.run(run_app(app, args.host, args.port, ready=_ready))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C without handler
+        pass
+    print(
+        f"shutdown: ingested={app.ingested} snapshots={app.snapshots_written}",
+        flush=True,
+    )
+    return 0
+
+
 _COMMANDS = {
     "demo": _demo,
     "compare": _compare,
@@ -353,6 +456,7 @@ _COMMANDS = {
     "check-longtail": _check_longtail,
     "figure": _figure,
     "plan": _plan,
+    "serve": _serve,
     "stats": _stats,
 }
 

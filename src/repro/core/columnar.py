@@ -196,6 +196,7 @@ class ColumnarLTC(FastLTC):
         # instead of materialising a per-event cell-index matrix.
         eq = (self._kcol2[b] == arr[start:stop, None]) & self._occ2[b]
         hit = eq.any(axis=1)
+        listener = self._cell_listener
         if hit.all():
             # All-hit chunk (the steady state on hit-heavy streams): every
             # event is clean, aggregate with one bincount and advance the
@@ -205,6 +206,8 @@ class ColumnarLTC(FastLTC):
             )
             self._freqs += adds
             self._flags[adds > 0] |= self._set_bit
+            if listener is not None:
+                listener.cells_touched(_np.flatnonzero(adds).tolist())
             self._advance_and_harvest(span)
             return
         # An event is clean iff it hits AND precedes its bucket's first
@@ -222,6 +225,8 @@ class ColumnarLTC(FastLTC):
             )
             self._freqs += adds
             self._flags[adds > 0] |= self._set_bit
+            if listener is not None:
+                listener.cells_touched(_np.flatnonzero(adds).tolist())
         # Remaining events replay one-by-one in stream order, the CLOCK
         # advanced to each event's exact arrival offset (inlined
         # on_arrivals arithmetic and hit path, as in FastLTC.insert_many).
@@ -248,6 +253,8 @@ class ColumnarLTC(FastLTC):
             if slot is not None:
                 freqs[slot] += 1
                 flags[slot] |= set_bit
+                if listener is not None:
+                    listener.cell_touched(slot)
             else:
                 miss(item)
             acc += m
@@ -297,6 +304,7 @@ class ColumnarLTC(FastLTC):
         first = min(steps, m - hand)
         flags = self._flags
         counters = self._counters
+        listener = self._cell_listener
         harvested = 0
         for a, b in ((hand, hand + first), (0, steps - first)):
             if b <= a:
@@ -307,6 +315,8 @@ class ColumnarLTC(FastLTC):
                 counters[a:b][mask] += 1
                 seg &= ~hb
                 harvested += int(mask.sum())
+                if listener is not None:
+                    listener.cells_touched((a + _np.flatnonzero(mask)).tolist())
         clock.hand = (hand + steps) % m
         clock.scanned_in_period += steps
         if harvested and self._obs is not None:

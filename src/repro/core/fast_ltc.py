@@ -42,6 +42,8 @@ class FastLTC(LTC):
         if slot is not None:  # Case 1: hit, no bucket scan.
             self._freqs[slot] += 1
             self._flags[slot] |= self._set_bit
+            if self._cell_listener is not None:
+                self._cell_listener.cell_touched(slot)
             return
         self._place_miss(item)
 
@@ -56,6 +58,13 @@ class FastLTC(LTC):
         for the whole call — it only changes in ``end_period``.
         ``counts`` weights the batch as in the base protocol.
         """
+        if self._cell_listener is not None:
+            # Listener notifications live in _place/_harvest; the base
+            # batched loop routes every arrival through them (same cells,
+            # same CLOCK schedule — only the inlined hit shortcut is
+            # skipped while an index is attached).
+            LTC.insert_many(self, items, counts)
+            return
         if counts is not None:
             items = expand_counts(items, counts)
         try:
@@ -117,6 +126,8 @@ class FastLTC(LTC):
             self._counters[empty] = 0
             self._flags[empty] = self._set_bit
             self._slot_of[item] = empty
+            if self._cell_listener is not None:
+                self._cell_listener.cell_touched(empty)
             return
         self._decrement_smallest_indexed(item, base)
 
@@ -126,6 +137,7 @@ class FastLTC(LTC):
         freqs = self._freqs
         counters = self._counters
         metered = self._obs is not None
+        listener = self._cell_listener
         jmin = base
         smin = alpha * freqs[base] + beta * counters[base]
         for j in range(base + 1, base + d):
@@ -142,6 +154,8 @@ class FastLTC(LTC):
             freqs[jmin] += 1
             self._flags[jmin] = self._set_bit
             self._slot_of[item] = jmin
+            if listener is not None:
+                listener.cell_touched(jmin)
             return
         if metered:
             self._m_decrements.inc()
@@ -161,6 +175,8 @@ class FastLTC(LTC):
         if freqs[jmin] > 0:
             freqs[jmin] -= 1
         if alpha * freqs[jmin] + beta * counters[jmin] > 0:
+            if listener is not None:
+                listener.cell_touched(jmin)
             return
         if self._ltr and d > 1:
             f0, c0 = self._longtail_initial(base, jmin)
@@ -178,6 +194,8 @@ class FastLTC(LTC):
         counters[jmin] = c0
         self._flags[jmin] = self._set_bit
         self._slot_of[item] = jmin
+        if listener is not None:
+            listener.cell_touched(jmin)
 
     def estimate(self, item: int) -> Tuple[int, int]:
         """Estimated ``(frequency, persistency)`` of ``item`` via the index."""

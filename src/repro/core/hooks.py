@@ -1,0 +1,48 @@
+"""Cell-mutation hooks: observe lossy-table changes without scanning.
+
+The serving tier (:mod:`repro.serve`) answers ``top_k`` / point queries
+from a maintained inverted index instead of walking the whole table.  To
+keep that index honest it must learn about *every* cell mutation — hits,
+CLOCK harvests, Significance Decrementing, evictions, Long-tail
+Replacement reseeds — the moment they happen.  Rather than teach the
+kernels about indexes, each kernel notifies at most one attached
+:class:`CellListener` with the **slot id** of any cell whose key,
+frequency or persistency just changed; the listener reads the new cell
+state lazily from the structure's own arrays.
+
+Contract (relied on by :class:`repro.serve.index.ServingIndex`):
+
+* a notification fires *after* the mutation is applied, in the same
+  call — by the time the listener runs, the cell arrays already show
+  the new state;
+* key replacement (eviction + newcomer) is just a touch of the slot;
+  the listener diffs against its own mirror of the key column to learn
+  which item left;
+* ``cells_reset`` fires when the whole table is invalidated at once
+  (:meth:`repro.core.ltc.LTC.clear`);
+* notifications are O(1) per mutated slot and fire only when a listener
+  is attached — the disabled cost is one ``is None`` test per mutation
+  site, mirroring the observability discipline (DESIGN.md §9).
+
+Supported structures: the three LTC kernels
+(:class:`~repro.core.ltc.LTC`, :class:`~repro.core.fast_ltc.FastLTC`,
+:class:`~repro.core.columnar.ColumnarLTC`).  Other summaries do not
+emit notifications.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+
+class CellListener(Protocol):
+    """What an attached cell-mutation observer must implement."""
+
+    def cell_touched(self, slot: int) -> None:
+        """One cell's key, frequency or persistency changed."""
+
+    def cells_touched(self, slots: Iterable[int]) -> None:
+        """A batch of cells changed (vectorized kernel paths)."""
+
+    def cells_reset(self) -> None:
+        """The whole table was reset; any derived state is invalid."""

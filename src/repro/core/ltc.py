@@ -26,6 +26,7 @@ from repro import obs, sanitize
 from repro.core.cell import CellView
 from repro.core.clock import ClockPointer
 from repro.core.config import LTCConfig
+from repro.core.hooks import CellListener
 from repro.hashing.family import splitmix64
 from repro.metrics.memory import MemoryBudget
 from repro.summaries.base import ItemReport, StreamSummary, expand_counts
@@ -90,6 +91,9 @@ class LTC(StreamSummary):
                 "CLOCK flag harvests folded into persistency counters",
             )
         self._m_batch = obs.batch_size_histogram(type(self).__name__)
+        # Cell-mutation listener (repro.core.hooks): the serving index
+        # attaches here; disabled cost is one is-None test per mutation.
+        self._cell_listener: Optional[CellListener] = None
         # Debug-mode invariant checking: wrappers are installed on the
         # *instance* only when requested, so the disabled hot paths stay
         # the plain class functions (zero cost, not even a flag branch).
@@ -117,6 +121,23 @@ class LTC(StreamSummary):
                 **kwargs,
             )
         )
+
+    # ----------------------------------------------------------------- hooks
+    def attach_cell_listener(self, listener: CellListener) -> None:
+        """Attach the (single) cell-mutation listener.
+
+        The listener is notified with the slot id after any cell's key,
+        frequency or persistency changes, and with ``cells_reset`` when
+        the whole table is invalidated (:meth:`clear`); see
+        :mod:`repro.core.hooks` for the contract.  Attaching replaces
+        any previous listener; it does not replay history — observers
+        that need the current table state scan it once on attach.
+        """
+        self._cell_listener = listener
+
+    def detach_cell_listener(self) -> None:
+        """Remove the cell-mutation listener (hot paths go branch-cheap)."""
+        self._cell_listener = None
 
     # ------------------------------------------------------------- insertion
     def insert(self, item: int) -> None:
@@ -215,6 +236,8 @@ class LTC(StreamSummary):
             if key == item:  # Case 1: hit.
                 freqs[j] += 1
                 self._flags[j] |= self._set_bit
+                if self._cell_listener is not None:
+                    self._cell_listener.cell_touched(j)
                 return
             if key is None and empty < 0:
                 empty = j
@@ -223,6 +246,8 @@ class LTC(StreamSummary):
             freqs[empty] = 1
             self._counters[empty] = 0
             self._flags[empty] = self._set_bit
+            if self._cell_listener is not None:
+                self._cell_listener.cell_touched(empty)
             return
         self._decrement_smallest(item, base)  # Case 3: full bucket.
 
@@ -233,6 +258,7 @@ class LTC(StreamSummary):
         freqs = self._freqs
         counters = self._counters
         metered = self._obs is not None
+        listener = self._cell_listener
         jmin = base
         smin = alpha * freqs[base] + beta * counters[base]
         for j in range(base + 1, base + d):
@@ -247,6 +273,8 @@ class LTC(StreamSummary):
             self._keys[jmin] = item
             freqs[jmin] += 1
             self._flags[jmin] = self._set_bit
+            if listener is not None:
+                listener.cell_touched(jmin)
             return
         if metered:
             self._m_decrements.inc()
@@ -269,6 +297,8 @@ class LTC(StreamSummary):
         if freqs[jmin] > 0:
             freqs[jmin] -= 1
         if alpha * freqs[jmin] + beta * counters[jmin] > 0:
+            if listener is not None:
+                listener.cell_touched(jmin)
             return  # The incumbent survives; the newcomer is dropped.
         # Expel and insert the newcomer.
         if self._ltr and d > 1:
@@ -283,6 +313,8 @@ class LTC(StreamSummary):
         freqs[jmin] = f0
         counters[jmin] = c0
         self._flags[jmin] = self._set_bit
+        if listener is not None:
+            listener.cell_touched(jmin)
 
     def _longtail_initial(self, base: int, jmin: int) -> Tuple[int, int]:
         """Long-tail Replacement initial values (§III-D).
@@ -318,6 +350,8 @@ class LTC(StreamSummary):
                 self._counters[slot] += 1
                 if self._obs is not None:
                     self._m_harvests.inc()
+                if self._cell_listener is not None:
+                    self._cell_listener.cell_touched(slot)
 
     def end_period(self) -> None:
         """Complete the sweep and roll the period parity.
@@ -339,10 +373,13 @@ class LTC(StreamSummary):
         flags = self._flags
         keys = self._keys
         counters = self._counters
+        listener = self._cell_listener
         for slot in range(len(flags)):
             bits = flags[slot]
             if bits and keys[slot] is not None:
                 counters[slot] += (bits & 1) + (bits >> 1 & 1)
+                if listener is not None:
+                    listener.cell_touched(slot)
             flags[slot] = 0
 
     # --------------------------------------------------------------- queries
@@ -360,6 +397,34 @@ class LTC(StreamSummary):
         """Estimated significance ``α·f̂ + β·p̂`` of ``item``."""
         f, p = self.estimate(item)
         return self._alpha * f + self._beta * p
+
+    @property
+    def period_fill(self) -> int:
+        """Count-based arrivals since the last period boundary.
+
+        Inverts the CLOCK accumulator (each arrival adds ``m`` to it and
+        every ``n`` accumulated is one swept slot), so a restored
+        checkpoint reveals how deep into its period it was.  Valid while
+        the driver ends periods on schedule (fewer than ``n`` arrivals
+        since the last :meth:`end_period`), which both
+        :class:`repro.streams.model.StreamModel` and the serving tier
+        guarantee.
+        """
+        clock = self._clock
+        return (
+            clock.scanned_in_period * clock.items_per_period + clock._acc
+        ) // clock.num_cells
+
+    def cell_state(self, slot: int) -> Tuple[Optional[int], int, int]:
+        """``(key, frequency, persistency)`` of one cell by flat slot id.
+
+        ``key`` is ``None`` for an empty cell.  The counts are plain
+        Python ints regardless of kernel (the columnar kernel stores
+        numpy scalars); this is the read path the serving index uses
+        when a :class:`repro.core.hooks.CellListener` notification
+        names a slot.
+        """
+        return self._keys[slot], int(self._freqs[slot]), int(self._counters[slot])
 
     def top_k(self, k: int) -> List[ItemReport]:
         """The k most significant tracked items."""
@@ -428,6 +493,8 @@ class LTC(StreamSummary):
         self._set_bit = 1
         self._harvest_bit = 2 if self._de else 1
         self._last_timestamp = None
+        if self._cell_listener is not None:
+            self._cell_listener.cells_reset()
 
     def __len__(self) -> int:
         """Number of occupied cells."""

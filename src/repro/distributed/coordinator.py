@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 from repro import obs
 from repro.core.config import LTCConfig
@@ -38,7 +38,13 @@ class CoordinatorReport:
         return {item for item, _ in self.top_k}
 
 
-def _coordinator_timers():
+class _Observes(Protocol):
+    """Anything observe()-able: a live histogram or the null metric."""
+
+    def observe(self, value: float) -> None: ...
+
+
+def _coordinator_timers() -> Tuple[Optional[_Observes], Optional[_Observes]]:
     """The merge-engine timing histograms, or ``(None, None)`` when off.
 
     Shared by the sequential and process-parallel coordinators so one
@@ -78,7 +84,7 @@ class MergingCoordinator:
             per-event insertion, just faster).
     """
 
-    def __init__(self, config: LTCConfig, batched: bool = True):
+    def __init__(self, config: LTCConfig, batched: bool = True) -> None:
         self.config = config
         self.batched = batched
 
@@ -134,7 +140,7 @@ class SamplingCoordinator:
         alpha: float = 0.0,
         beta: float = 1.0,
         seed: int = 0xC00D,
-    ):
+    ) -> None:
         self.sample_rate = sample_rate
         self.alpha = alpha
         self.beta = beta
@@ -144,7 +150,7 @@ class SamplingCoordinator:
         self, site_streams: Sequence[PeriodicStream], k: int
     ) -> CoordinatorReport:
         """Drive every site and rank the union of the sampled reports."""
-        reports = []
+        reports: List[List[Tuple[int, int, int]]] = []
         communication = 0
         for stream in site_streams:
             sampler = CoordinatedSampler(self.sample_rate, seed=self.seed)

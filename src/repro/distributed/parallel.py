@@ -39,7 +39,18 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
 
 from repro import obs
 from repro.core.config import LTCConfig
@@ -67,7 +78,7 @@ class WorkerCrashError(RuntimeError):
         shards: Sequence[int],
         max_retries: int,
         last_error: Optional[BaseException] = None,
-    ):
+    ) -> None:
         detail = f": {last_error}" if last_error is not None else ""
         super().__init__(
             f"shards {sorted(shards)} still failing after "
@@ -88,7 +99,13 @@ def process_pool_available() -> bool:
         return False
 
 
-def _pool_context():
+class _Counts(Protocol):
+    """Anything inc()-able: a live counter or the null metric."""
+
+    def inc(self, amount: float = 1) -> None: ...
+
+
+def _pool_context() -> Optional[BaseContext]:
     """Prefer fork (cheap on Linux); fall back to the platform default."""
     import multiprocessing
 
@@ -154,7 +171,7 @@ class ParallelMergingCoordinator:
         config: LTCConfig,
         max_workers: Optional[int] = None,
         max_retries: int = 2,
-    ):
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if max_retries < 0:
@@ -176,7 +193,7 @@ class ParallelMergingCoordinator:
         num_periods = max(s.num_periods for s in site_streams)
         site_timer, merge_timer = _coordinator_timers()
         payloads = self._ingest(site_streams)
-        summaries = []
+        summaries: List[LTC] = []
         for payload in payloads:
             started = time.perf_counter()
             summaries.append(from_bytes(payload))
@@ -202,7 +219,7 @@ class ParallelMergingCoordinator:
         self, site_streams: Sequence[PeriodicStream]
     ) -> List[Tuple[LTCConfig, List[List[int]]]]:
         """Build each shard's picklable (config, period batches) payload."""
-        jobs = []
+        jobs: List[Tuple[LTCConfig, List[List[int]]]] = []
         for stream in site_streams:
             site_config = self.config.with_options(
                 items_per_period=stream.period_length
@@ -232,7 +249,8 @@ class ParallelMergingCoordinator:
     def _run_pool(
         self, jobs: List[Tuple[LTCConfig, List[List[int]]]], workers: int
     ) -> List[bytes]:
-        crash_counter = retry_counter = None
+        crash_counter: Optional[_Counts] = None
+        retry_counter: Optional[_Counts] = None
         if obs.is_enabled():
             reg = obs.registry()
             crash_counter = reg.counter(
@@ -314,7 +332,7 @@ class ShardedPipeline:
         max_workers: Optional[int] = None,
         max_retries: int = 2,
         seed: int = 0xD15C,
-    ):
+    ) -> None:
         if num_shards is not None and num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         workers = max_workers or os.cpu_count() or 1

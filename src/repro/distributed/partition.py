@@ -17,7 +17,7 @@ from repro.streams.model import PeriodicStream
 def _assemble(
     per_site_periods: "list[list[list[int]]]", source: PeriodicStream
 ) -> List[PeriodicStream]:
-    streams = []
+    streams: List[PeriodicStream] = []
     for site, periods in enumerate(per_site_periods):
         events: List[int] = []
         boundaries: List[int] = []
@@ -48,7 +48,9 @@ def partition_sharded(
     """
     if num_sites < 1:
         raise ValueError("num_sites must be >= 1")
-    per_site = [[[] for _ in range(stream.num_periods)] for _ in range(num_sites)]
+    per_site: List[List[List[int]]] = [
+        [[] for _ in range(stream.num_periods)] for _ in range(num_sites)
+    ]
     for period_index, period in enumerate(stream.iter_periods()):
         for item in period:
             site = splitmix64(item ^ seed) % num_sites
@@ -68,7 +70,9 @@ def partition_random(
     if num_sites < 1:
         raise ValueError("num_sites must be >= 1")
     rng = random.Random(seed)
-    per_site = [[[] for _ in range(stream.num_periods)] for _ in range(num_sites)]
+    per_site: List[List[List[int]]] = [
+        [[] for _ in range(stream.num_periods)] for _ in range(num_sites)
+    ]
     for period_index, period in enumerate(stream.iter_periods()):
         for item in period:
             per_site[rng.randrange(num_sites)][period_index].append(item)

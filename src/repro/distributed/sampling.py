@@ -12,7 +12,7 @@ the sample are invisible everywhere.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.hashing.family import HashFamily
 from repro.summaries.base import ItemReport, StreamSummary
@@ -29,7 +29,7 @@ class CoordinatedSampler(StreamSummary):
             "coordinated" part).
     """
 
-    def __init__(self, sample_rate: float, seed: int = 0xC00D):
+    def __init__(self, sample_rate: float, seed: int = 0xC00D) -> None:
         if not 0.0 < sample_rate <= 1.0:
             raise ValueError("sample_rate must be in (0, 1]")
         self.sample_rate = sample_rate
@@ -47,7 +47,9 @@ class CoordinatedSampler(StreamSummary):
         self._freq[item] = self._freq.get(item, 0) + 1
         self._presence[item] = self._presence.get(item, 0) | (1 << self._period)
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         Within one period frequency additions and presence-bit ORs

@@ -1,0 +1,43 @@
+"""Serving tier: concurrent ingestion plus an O(1)/O(k) query path.
+
+The batch experiments answer "which items are significant?" by walking
+the whole LTC table after the run.  This package turns the structure
+into a long-running service: an asyncio HTTP server
+(:mod:`repro.serve.server`) ingests batches through ``insert_many`` on a
+background task while queries are answered from a maintained inverted
+index (:mod:`repro.serve.index`) kept honest by the cell-mutation
+notifications of :mod:`repro.core.hooks` — no table scan on the read
+path.  Snapshot rotation (:mod:`repro.serve.snapshots`) checkpoints the
+structure with the v3 binary format so a killed server restarts from
+the newest intact snapshot, and every served answer can be pinned
+byte-equal to the full-scan oracle in :mod:`repro.serve.oracle`.
+
+Start one from the command line with ``repro-ltc serve``.
+"""
+
+from repro.serve.index import ServingIndex
+from repro.serve.oracle import (
+    canonical_json,
+    oracle_query,
+    oracle_significant,
+    oracle_top_k,
+    query_payload,
+    reports_payload,
+    scan_reports,
+)
+from repro.serve.server import ServingApp, run_app
+from repro.serve.snapshots import SnapshotStore
+
+__all__ = [
+    "ServingApp",
+    "ServingIndex",
+    "SnapshotStore",
+    "canonical_json",
+    "oracle_query",
+    "oracle_significant",
+    "oracle_top_k",
+    "query_payload",
+    "reports_payload",
+    "run_app",
+    "scan_reports",
+]

@@ -1,0 +1,92 @@
+"""Full-scan oracle for the serving tier's index-vs-scan identity gate.
+
+Every answer the serving index produces must be **byte-equal** to what a
+full scan of the table would serve.  This module is the scan side: it
+walks every cell through :meth:`repro.core.ltc.LTC.cell_state` (no dict,
+no heap, no bucket hash — a deliberately independent code path) and
+builds the same payload shapes the server encodes.  Both sides compute
+significance as ``alpha * f + beta * p`` on plain Python ints and both
+serialize through :func:`canonical_json`, so any divergence in values,
+ordering, or tie-breaking shows up as a byte difference.
+
+The differential tests and ``benchmarks/bench_serving.py`` compare
+``canonical_json(payload)`` from the two paths after every probe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.ltc import LTC
+
+#: ``(item, significance, frequency, persistency)`` — the tuple shape
+#: shared with :class:`repro.serve.index.ServingIndex` results.
+Report = Tuple[int, float, int, int]
+
+
+def canonical_json(payload: Any) -> bytes:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+
+
+def reports_payload(reports: Sequence[Report]) -> List[Dict[str, Any]]:
+    """JSON shape of a ranked report list (shared served/oracle shape)."""
+    return [
+        {
+            "item": int(item),
+            "significance": float(sig),
+            "frequency": int(f),
+            "persistency": int(p),
+        }
+        for item, sig, f, p in reports
+    ]
+
+
+def query_payload(
+    item: int, tracked: bool, sig: float, f: int, p: int
+) -> Dict[str, Any]:
+    """JSON shape of a point-query answer (shared served/oracle shape)."""
+    return {
+        "item": int(item),
+        "tracked": bool(tracked),
+        "significance": float(sig),
+        "frequency": int(f),
+        "persistency": int(p),
+    }
+
+
+def scan_reports(ltc: LTC) -> List[Report]:
+    """Every tracked item, ranked by ``(-significance, item)`` — full scan."""
+    alpha = float(ltc.config.alpha)
+    beta = float(ltc.config.beta)
+    out: List[Report] = []
+    for slot in range(ltc.total_cells):
+        key, f, p = ltc.cell_state(slot)
+        if key is None:
+            continue
+        out.append((key, alpha * f + beta * p, f, p))
+    out.sort(key=lambda r: (-r[1], r[0]))
+    return out
+
+
+def oracle_top_k(ltc: LTC, k: int) -> Dict[str, Any]:
+    """Payload a full scan would serve for ``GET /top_k?k=...``."""
+    return {"k": int(k), "results": reports_payload(scan_reports(ltc)[:k])}
+
+
+def oracle_significant(ltc: LTC, threshold: float) -> Dict[str, Any]:
+    """Payload a full scan would serve for ``GET /significant?...``."""
+    ranked = [r for r in scan_reports(ltc) if r[1] >= threshold]
+    return {"threshold": float(threshold), "results": reports_payload(ranked)}
+
+
+def oracle_query(ltc: LTC, item: int) -> Dict[str, Any]:
+    """Payload a full scan would serve for ``GET /query/<item>``."""
+    for slot in range(ltc.total_cells):
+        key, f, p = ltc.cell_state(slot)
+        if key == item:
+            alpha = float(ltc.config.alpha)
+            beta = float(ltc.config.beta)
+            return query_payload(item, True, alpha * f + beta * p, f, p)
+    return query_payload(item, False, 0.0, 0, 0)

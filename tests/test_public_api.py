@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.hashing",
     "repro.obs",
+    "repro.serve",
 ]
 
 

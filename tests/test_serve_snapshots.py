@@ -1,0 +1,132 @@
+"""Snapshot rotation: retain-N, crash-window atomicity, restore-continue.
+
+The store must never serve a partial file (writes go through a ``.tmp``
+rename), must prune to the newest N, must skip corrupt images on
+restore, and a restore-then-continue run must be byte-identical to an
+uninterrupted one — including mid-period restores (the CLOCK accumulator
+round-trips through the v3 header).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import LTCConfig
+from repro.core.kernels import KERNELS, build_ltc
+from repro.core.serialize import to_bytes
+from repro.serve.oracle import canonical_json, oracle_top_k
+from repro.serve.snapshots import SnapshotStore
+
+
+def _cfg(**kw):
+    base = dict(num_buckets=4, bucket_width=2, items_per_period=32)
+    base.update(kw)
+    return LTCConfig(**base)
+
+
+class TestRotation:
+    def test_retain_n_prunes_oldest(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=3)
+        ltc = build_ltc(_cfg())
+        for i in range(7):
+            ltc.insert_many(list(range(i * 10, i * 10 + 10)))
+            store.save(ltc)
+        names = [p.name for p in store.snapshot_paths()]
+        assert names == [
+            "snapshot-000000005.ltc",
+            "snapshot-000000006.ltc",
+            "snapshot-000000007.ltc",
+        ]
+
+    def test_sequence_survives_pruning(self, tmp_path):
+        # New snapshots keep counting upward even after old ones are gone.
+        store = SnapshotStore(tmp_path, retain=1)
+        ltc = build_ltc(_cfg())
+        for _ in range(3):
+            store.save(ltc)
+        assert store.snapshot_paths()[0].name == "snapshot-000000003.ltc"
+
+    def test_retain_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotStore(tmp_path, retain=0)
+
+
+class TestCrashWindow:
+    def test_partial_tmp_is_ignored(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=3)
+        ltc = build_ltc(_cfg())
+        ltc.insert_many(list(range(40)))
+        store.save(ltc)
+        # a crash between write and os.replace leaves only a .tmp
+        partial = tmp_path / "snapshot-000000009.ltc.tmp"
+        partial.write_bytes(to_bytes(ltc)[:17])
+        assert all(
+            not p.name.endswith(".tmp") for p in store.snapshot_paths()
+        )
+        restored = store.restore()
+        assert restored is not None
+        assert to_bytes(restored) == to_bytes(ltc)
+        # the next save sweeps the leftover
+        store.save(ltc)
+        assert not partial.exists()
+
+    def test_corrupt_newest_falls_back(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=3)
+        ltc = build_ltc(_cfg())
+        ltc.insert_many(list(range(40)))
+        good = store.save(ltc)
+        ltc.insert_many(list(range(40, 80)))
+        bad = store.save(ltc)
+        bad.write_bytes(b"LTC3 garbage that will not parse")
+        restored = store.restore()
+        assert restored is not None
+        assert to_bytes(restored) == good.read_bytes()
+
+    def test_all_corrupt_restores_none(self, tmp_path):
+        store = SnapshotStore(tmp_path, retain=3)
+        (tmp_path / "snapshot-000000001.ltc").write_bytes(b"junk")
+        assert store.restore() is None
+
+    def test_empty_directory_restores_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).restore() is None
+
+
+class TestRestoreContinue:
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_restore_then_continue_byte_identical(self, tmp_path, kernel):
+        """Kill mid-stream (and mid-period), restart from the snapshot,
+        finish the stream: final answers byte-equal the uninterrupted run."""
+        cfg = _cfg(kernel=kernel)
+        rng = random.Random(kernel)
+        stream = [rng.randrange(50) for _ in range(3000)]
+        cut = 1337  # not a period multiple: restores mid-period
+
+        def drive(ltc, events):
+            fill = ltc.period_fill
+            for item in events:
+                ltc.insert(item)
+                fill += 1
+                if fill == cfg.items_per_period:
+                    ltc.end_period()
+                    fill = 0
+
+        straight = build_ltc(cfg)
+        drive(straight, stream)
+
+        first = build_ltc(cfg)
+        drive(first, stream[:cut])
+        store = SnapshotStore(tmp_path / kernel, retain=2)
+        store.save(first)
+        del first
+
+        resumed = store.restore(cls=KERNELS[kernel])
+        assert resumed is not None
+        assert resumed.period_fill == cut % cfg.items_per_period
+        drive(resumed, stream[cut:])
+
+        assert to_bytes(resumed) == to_bytes(straight)
+        assert canonical_json(oracle_top_k(resumed, 20)) == canonical_json(
+            oracle_top_k(straight, 20)
+        )

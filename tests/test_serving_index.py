@@ -1,0 +1,134 @@
+"""ServingIndex mechanics: laziness, invalidation, compaction, lifecycle.
+
+The byte-equality of served answers is pinned by
+``tests/test_serving_differential.py``; here we test the index's own
+machinery — that it repairs lazily (no work on the ingest path), dedupes
+dirty slots, survives item relocation between repairs, bounds its heap,
+and detaches cleanly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LTCConfig
+from repro.core.kernels import KERNELS, build_ltc
+from repro.serve.index import ServingIndex
+
+
+def _cfg(**kw):
+    base = dict(num_buckets=4, bucket_width=2, items_per_period=16)
+    base.update(kw)
+    return LTCConfig(**base)
+
+
+class TestLaziness:
+    def test_ingest_does_not_repair(self):
+        ltc = build_ltc(_cfg())
+        idx = ServingIndex(ltc)
+        ltc.insert_many(list(range(100)))
+        assert idx.repairs == 0
+        idx.top_k(3)
+        assert idx.repairs == 1
+
+    def test_duplicate_touches_queue_once(self):
+        ltc = build_ltc(_cfg())
+        idx = ServingIndex(ltc)
+        idx.top_k(1)  # drain the adoption pass
+        before = len(idx._pending)
+        for _ in range(50):
+            ltc.insert(7)
+        # one slot mutated 50 times queues exactly one repair entry
+        assert len(idx._pending) - before == 1
+
+    def test_query_without_mutations_skips_repair(self):
+        ltc = build_ltc(_cfg())
+        idx = ServingIndex(ltc)
+        idx.top_k(1)
+        idx.top_k(1)
+        idx.query(3)
+        assert idx.repairs == 1
+
+
+class TestInvalidation:
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_eviction_drops_departed_item(self, kernel):
+        # 1 bucket x 1 cell: every new item evicts the incumbent.
+        ltc = build_ltc(
+            _cfg(num_buckets=1, bucket_width=1, kernel=kernel,
+                 replacement_policy="space-saving")
+        )
+        idx = ServingIndex(ltc)
+        ltc.insert(1)
+        assert idx.query(1)[0] is True
+        ltc.insert(2)
+        assert idx.query(1)[0] is False
+        assert idx.query(2)[0] is True
+        assert idx.tracked() == 1
+
+    def test_relocated_item_not_dropped_by_stale_diff(self):
+        # An item that leaves slot A and reappears in slot A again (or
+        # elsewhere) between two repairs must stay resolvable: the diff
+        # only deletes a dict entry still pointing at the touched slot.
+        ltc = build_ltc(_cfg(num_buckets=1, bucket_width=2,
+                             replacement_policy="space-saving"))
+        idx = ServingIndex(ltc)
+        ltc.insert_many([1, 2])      # slots 0, 1 occupied
+        assert idx.tracked() == 2
+        # evict 1 (smallest), then evict 2's bucket-mate again with 1 back
+        ltc.insert(3)                # replaces one incumbent
+        ltc.insert(1)
+        idx.top_k(2)
+        for item in (1,):
+            assert idx.query(item)[0] == (item in ltc)
+
+    def test_clear_resets_index(self):
+        ltc = build_ltc(_cfg())
+        idx = ServingIndex(ltc)
+        ltc.insert_many(list(range(50)))
+        assert idx.tracked() > 0
+        ltc.clear()
+        assert idx.tracked() == 0
+        assert idx.top_k(5) == []
+        assert idx.query(1) == (False, 0.0, 0, 0)
+        # the index keeps working after the reset
+        ltc.insert(9)
+        assert idx.query(9)[0] is True
+
+
+class TestHeapBounds:
+    def test_compaction_bounds_heap(self):
+        ltc = build_ltc(_cfg(num_buckets=1, bucket_width=1))
+        idx = ServingIndex(ltc)
+        # Hammer one cell with alternating evictions; every repair pushes
+        # a fresh entry, so without compaction the heap grows forever.
+        for i in range(3000):
+            ltc.insert(i)
+            if i % 2 == 0:
+                idx.top_k(1)
+        assert idx.heap_size() <= max(64, 4 * ltc.total_cells) + 1
+
+    def test_stale_entries_skipped_on_pop(self):
+        ltc = build_ltc(_cfg(num_buckets=1, bucket_width=1))
+        idx = ServingIndex(ltc)
+        for i in range(10):
+            ltc.insert(i)
+            idx.top_k(1)  # repair each step -> stale entries accumulate
+        reports = idx.top_k(5)
+        assert len(reports) == 1  # one cell => one live item
+
+
+class TestLifecycle:
+    def test_close_detaches(self):
+        ltc = build_ltc(_cfg())
+        idx = ServingIndex(ltc)
+        idx.top_k(1)  # drain the adoption pass
+        idx.close()
+        ltc.insert_many(list(range(32)))
+        assert idx._pending == []  # no notifications after detach
+
+    def test_adopts_existing_state(self):
+        ltc = build_ltc(_cfg())
+        ltc.insert_many(list(range(20)))
+        idx = ServingIndex(ltc)  # attached mid-life
+        assert idx.tracked() == len(ltc)

@@ -1,0 +1,165 @@
+"""CI smoke for the serving tier — stdlib only, drives the real CLI.
+
+Starts ``repro-ltc serve`` as a subprocess on an ephemeral port, ingests
+a seeded stream over HTTP, exercises ``/top_k`` / ``/query`` /
+``/significant`` / ``/metrics`` (with the oracle self-check enabled, so
+every answer is verified byte-equal to a full table scan in-process),
+sends SIGTERM, and asserts a clean exit with a restorable snapshot on
+disk.  Exit code 0 = all checks passed.
+
+Run from the repo root::
+
+    python -m tools.serve_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TIMEOUT = 60.0
+
+
+def _get(port: int, path: str) -> dict:
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as rsp:
+        return json.loads(rsp.read())
+
+
+def _get_text(port: int, path: str) -> str:
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=10) as rsp:
+        return rsp.read().decode()
+
+
+def _post(port: int, path: str, doc: dict) -> dict:
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(doc).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=10) as rsp:
+        return json.loads(rsp.read())
+
+
+def main() -> int:
+    snapdir = tempfile.mkdtemp(prefix="serve-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO, "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--num-buckets",
+            "64",
+            "--bucket-width",
+            "4",
+            "--items-per-period",
+            "2000",
+            "--snapshot-dir",
+            snapdir,
+            "--snapshot-every",
+            "2",
+            "--check-oracle",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        assert proc.stdout is not None
+        deadline = time.monotonic() + TIMEOUT
+        port = None
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                raise SystemExit(f"server exited early (rc={proc.poll()})")
+            match = re.search(r"serving on [\d.]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            raise SystemExit("server never reported its port")
+        print(f"serve_smoke: server up on port {port}")
+
+        rng = random.Random(2026)
+        total = 0
+        for _ in range(5):
+            batch = [rng.randrange(500) for _ in range(2000)]
+            rsp = _post(port, "/ingest", {"items": batch})
+            total += rsp["queued"]
+        while time.monotonic() < deadline:
+            stats = _get(port, "/stats")
+            if stats["queued"] == 0:
+                break
+            time.sleep(0.05)
+        else:
+            raise SystemExit(f"ingest never drained: {stats}")
+        assert stats["ingested"] == total, stats
+        assert stats["periods"] == total // 2000, stats
+        print(f"serve_smoke: ingested {total} events, stats={stats}")
+
+        top = _get(port, "/top_k?k=10")
+        assert len(top["results"]) == 10, top
+        ranked = [r["significance"] for r in top["results"]]
+        assert ranked == sorted(ranked, reverse=True), top
+        point = _get(port, f"/query/{top['results'][0]['item']}")
+        assert point["tracked"] is True, point
+        assert point["significance"] == top["results"][0]["significance"]
+        sig = _get(port, "/significant?threshold=5")
+        assert all(r["significance"] >= 5 for r in sig["results"]), sig
+        metrics = _get_text(port, "/metrics")
+        assert "serve_requests_total" in metrics
+        assert "ltc_inserts_total" in metrics
+        # every one of those answers was oracle-verified server-side
+        assert _get(port, "/stats")["oracle_checks"] >= 3
+        print("serve_smoke: query endpoints + metrics verified")
+    except BaseException:
+        proc.kill()
+        proc.wait(timeout=10)
+        out = proc.stdout.read() if proc.stdout else ""
+        print(f"serve_smoke: server output:\n{out}", file=sys.stderr)
+        raise
+
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=30)
+    if proc.returncode != 0:
+        print(f"serve_smoke: unclean exit {proc.returncode}:\n{out}")
+        return 1
+    snaps = sorted(os.listdir(snapdir))
+    if not snaps:
+        print("serve_smoke: no snapshot written on shutdown")
+        return 1
+    # the snapshot must be restorable and non-trivial
+    sys.path.insert(0, os.path.join(REPO, "src"))
+    from repro.serve.snapshots import SnapshotStore
+
+    restored = SnapshotStore(snapdir).restore()
+    if restored is None or len(restored) == 0:
+        print(f"serve_smoke: snapshot not restorable ({snaps})")
+        return 1
+    print(
+        f"serve_smoke: clean shutdown, snapshots={snaps}, "
+        f"restored {len(restored)} tracked cells — OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
