@@ -20,16 +20,25 @@ Two coordination strategies are provided:
 
 ``repro.distributed.parallel`` scales the merging strategy across CPU
 cores: :class:`~repro.distributed.parallel.ParallelMergingCoordinator`
-drives the sites in worker processes (bit-identical to the sequential
-coordinator, differentially tested), and
-:class:`~repro.distributed.parallel.ShardedPipeline` hash-shards one
-logical stream across N workers for single-stream multi-core ingestion.
+streams period batches to persistent worker processes that each own a
+disjoint slice of the key space for the whole run (bit-identical to the
+sequential coordinator, differentially tested — crash + respawn
+included), and :class:`~repro.distributed.parallel.ShardedPipeline`
+hash-shards one logical stream across N workers for single-stream
+multi-core ingestion.  Batches travel through the shared-memory ring in
+``repro.distributed.transport`` when numpy/shm is available, falling
+back to pickled chunks otherwise.
 
 ``repro.distributed.partition`` splits a stream by item hash (each item's
-traffic enters at one site) or uniformly at random (ECMP-like spraying).
+traffic enters at one site; :func:`~repro.distributed.partition.shard_of`
+is the routing function) or uniformly at random (ECMP-like spraying).
 """
 
-from repro.distributed.partition import partition_random, partition_sharded
+from repro.distributed.partition import (
+    partition_random,
+    partition_sharded,
+    shard_of,
+)
 from repro.distributed.sampling import CoordinatedSampler
 from repro.distributed.coordinator import (
     CoordinatorReport,
@@ -40,11 +49,14 @@ from repro.distributed.parallel import (
     ParallelMergingCoordinator,
     ShardedPipeline,
     WorkerCrashError,
+    worker_processes_available,
 )
 
 __all__ = [
     "partition_sharded",
     "partition_random",
+    "shard_of",
+    "worker_processes_available",
     "CoordinatedSampler",
     "MergingCoordinator",
     "ParallelMergingCoordinator",

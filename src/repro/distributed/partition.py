@@ -10,7 +10,12 @@ from __future__ import annotations
 import random
 from typing import List
 
-from repro.hashing.family import splitmix64
+from repro.hashing.family import (
+    as_key_array,
+    numpy_available,
+    splitmix64,
+    splitmix64_array,
+)
 from repro.streams.model import PeriodicStream
 
 
@@ -38,23 +43,51 @@ def _assemble(
     return streams
 
 
+def shard_of(item: int, num_sites: int, seed: int = 0xD15C) -> int:
+    """The site owning ``item`` under the item-sharded split.
+
+    Deterministic and shared between the partitioner and any external
+    router: a persistent worker that owns site ``s`` owns exactly the
+    key range ``{x : splitmix64(x ^ seed) % num_sites == s}`` for the
+    whole run.
+    """
+    return splitmix64(item ^ seed) % num_sites
+
+
 def partition_sharded(
     stream: PeriodicStream, num_sites: int, seed: int = 0xD15C
 ) -> List[PeriodicStream]:
     """Item-sharded split: all of an item's arrivals go to one site.
 
     Models traffic entering the fabric at the item's ingress point — the
-    regime where :func:`repro.core.merge.merge` is exact.
+    regime where :func:`repro.core.merge.merge` is exact.  Site
+    assignment is :func:`shard_of`; with numpy the hash is computed in
+    one vectorised pass (bit-for-bit identical to the scalar loop — see
+    :func:`repro.hashing.family.splitmix64_array`).
     """
     if num_sites < 1:
         raise ValueError("num_sites must be >= 1")
     per_site: List[List[List[int]]] = [
         [[] for _ in range(stream.num_periods)] for _ in range(num_sites)
     ]
+    if numpy_available() and len(stream.events) > 0:
+        import numpy as np
+
+        keys = as_key_array(stream.events)
+        sites = (
+            splitmix64_array(keys ^ np.uint64(seed % (1 << 64)))
+            % np.uint64(num_sites)
+        ).tolist()
+        # Index the source list so sites receive the original Python int
+        # objects, exactly as the scalar loop would hand them over.
+        events = stream.events
+        for period_index, (start, end) in enumerate(stream.period_slices()):
+            for index in range(start, end):
+                per_site[sites[index]][period_index].append(events[index])
+        return _assemble(per_site, stream)
     for period_index, period in enumerate(stream.iter_periods()):
         for item in period:
-            site = splitmix64(item ^ seed) % num_sites
-            per_site[site][period_index].append(item)
+            per_site[shard_of(item, num_sites, seed)][period_index].append(item)
     return _assemble(per_site, stream)
 
 

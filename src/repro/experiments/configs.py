@@ -7,7 +7,7 @@ which receives ``T×`` as in the paper), 3 sketch rows, LTC with ``d = 8``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict
 
 from repro.combined.two_structure import TwoStructureSignificant
 from repro.core.config import LTCConfig
@@ -26,7 +26,7 @@ from repro.summaries.frequent import Frequent
 from repro.summaries.lossy_counting import LossyCounting
 from repro.summaries.space_saving import SpaceSaving
 
-DATASET_BUILDERS = {
+DATASET_BUILDERS: Dict[str, Callable[..., PeriodicStream]] = {
     "caida": caida_like,
     "network": network_like,
     "social": social_like,
@@ -35,7 +35,7 @@ DATASET_BUILDERS = {
 _DATASET_CACHE: Dict[str, PeriodicStream] = {}
 
 
-def make_dataset(name: str, **kwargs) -> PeriodicStream:
+def make_dataset(name: str, **kwargs: Any) -> PeriodicStream:
     """Build (and cache) one of the paper-dataset substitutes.
 
     Benchmarks sweep many memory sizes over the same stream; the cache
@@ -54,7 +54,7 @@ def ltc_factory(
     stream: PeriodicStream,
     alpha: float,
     beta: float,
-    **options,
+    **options: Any,
 ) -> Callable[[], LTC]:
     """Factory for a paper-default LTC sized for ``budget``.
 
@@ -77,7 +77,7 @@ def ltc_factory(
 
 
 def default_algorithms_frequent(
-    budget: MemoryBudget, stream: PeriodicStream, k: int, **ltc_options
+    budget: MemoryBudget, stream: PeriodicStream, k: int, **ltc_options: Any
 ) -> Dict[str, Callable[[], object]]:
     """The Fig. 9/10 line-up: LTC vs SS, LC, Frequent, CM, CU, Count."""
     return {
@@ -92,7 +92,7 @@ def default_algorithms_frequent(
 
 
 def default_algorithms_persistent(
-    budget: MemoryBudget, stream: PeriodicStream, k: int, **ltc_options
+    budget: MemoryBudget, stream: PeriodicStream, k: int, **ltc_options: Any
 ) -> Dict[str, Callable[[], object]]:
     """The Fig. 12/13 line-up: LTC vs PIE (T× memory) and BF+sketch+heap."""
     per_period = stream.period_length
@@ -119,7 +119,7 @@ def default_algorithms_significant(
     k: int,
     alpha: float,
     beta: float,
-    **ltc_options,
+    **ltc_options: Any,
 ) -> Dict[str, Callable[[], object]]:
     """The Fig. 14/15 line-up: LTC vs the two-structure CU and CM combos
     (CU is the paper's strongest baseline; CM shown for reference)."""

@@ -12,7 +12,9 @@ converged; heavy churn flags regime change (or an attack — see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import Any, List, Set
+
+from repro.summaries.base import ItemReport
 
 
 @dataclass(frozen=True)
@@ -41,7 +43,7 @@ class TopKMonitor:
         k: Top-k size to monitor.
     """
 
-    summary: object
+    summary: Any
     k: int
     snapshots: List[List[int]] = field(default_factory=list)
     events: List[ChurnEvent] = field(default_factory=list)
@@ -76,11 +78,11 @@ class TopKMonitor:
 
     def query(self, item: int) -> float:
         """Forwarded point query."""
-        return self.summary.query(item)
+        return float(self.summary.query(item))
 
-    def top_k(self, k: int):
+    def top_k(self, k: int) -> List[ItemReport]:
         """Forwarded top-k."""
-        return self.summary.top_k(k)
+        return list(self.summary.top_k(k))
 
     # ------------------------------------------------------------- analysis
     def total_churn(self) -> int:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Any, Callable, Dict
 
 from repro import obs
 from repro.metrics.accuracy import (
@@ -36,7 +36,7 @@ class EvalResult:
 
 
 def evaluate(
-    summary,
+    summary: Any,
     truth: GroundTruth,
     k: int,
     alpha: float,
@@ -64,7 +64,7 @@ def evaluate(
 
 
 def _run_metered(
-    summary,
+    summary: Any,
     stream: PeriodicStream,
     truth: GroundTruth,
     k: int,

@@ -12,7 +12,7 @@ budget of the single-structure algorithms to make it comparable (§V-C) —
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro import obs
 from repro.codes.raptor import RaptorCode
@@ -48,7 +48,7 @@ class PIE(StreamSummary):
         fp_bits: int = 12,
         seed: int = 0x91E,
         code: RaptorCode | None = None,
-    ):
+    ) -> None:
         self.cells_per_period = cells_per_period
         self.num_hashes = num_hashes
         self.fp_bits = fp_bits
@@ -61,7 +61,7 @@ class PIE(StreamSummary):
         # STBF insertion is idempotent within a period, so repeat arrivals
         # can be skipped outright.  This set is a pure speed cache (the C++
         # original simply pays the per-duplicate hash cost).
-        self._seen_this_period: set = set()
+        self._seen_this_period: Set[int] = set()
         self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
@@ -104,7 +104,9 @@ class PIE(StreamSummary):
         self._seen_this_period.add(item)
         self._current.insert(item)
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         Persistency only cares about period-first appearances, so the
@@ -155,7 +157,7 @@ class PIE(StreamSummary):
 
     def _decode_period(self, stbf: SpaceTimeBloomFilter) -> List[int]:
         """Recover the identifiers decodable from one period's filter."""
-        by_fp: Dict[int, List] = {}
+        by_fp: Dict[int, List[Tuple[int, int]]] = {}
         for cell, fp, symbol in stbf.singletons():
             by_fp.setdefault(fp, []).append((cell, symbol))
         recovered: List[int] = []

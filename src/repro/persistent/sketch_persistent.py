@@ -11,7 +11,7 @@ to sketch + heap.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence
 
 from repro import obs
 from repro.membership.bloom import BloomFilter
@@ -30,7 +30,7 @@ class SketchPersistent(StreamSummary):
         k: Heap capacity.
     """
 
-    def __init__(self, sketch, bloom: BloomFilter, k: int):
+    def __init__(self, sketch: Any, bloom: BloomFilter, k: int) -> None:
         self.sketch = sketch
         self.bloom = bloom
         self.heap = TopKHeap(k)
@@ -39,7 +39,7 @@ class SketchPersistent(StreamSummary):
     @classmethod
     def from_memory(
         cls,
-        sketch_cls,
+        sketch_cls: Any,
         budget: MemoryBudget,
         k: int,
         rows: int = 3,
@@ -68,7 +68,9 @@ class SketchPersistent(StreamSummary):
                 return  # provable no-op: full heap, untracked item below floor
             heap.offer(item, estimate)
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         Period-first survivors of the Bloom filter's batch probe feed the

@@ -15,7 +15,7 @@ paper exploits when comparing against sampling methods.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro import obs
 from repro.hashing.family import HashFamily, as_key_array, numpy_available
@@ -40,7 +40,9 @@ class SmallSpacePersistent(StreamSummary):
         seed: Sampling-hash seed (shared across periods by construction).
     """
 
-    def __init__(self, capacity: int, sample_rate: float = 0.05, seed: int = 0x5A):
+    def __init__(
+        self, capacity: int, sample_rate: float = 0.05, seed: int = 0x5A
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if not 0.0 < sample_rate <= 1.0:
@@ -51,7 +53,7 @@ class SmallSpacePersistent(StreamSummary):
         self._threshold = int(sample_rate * _HASH_SPACE)
         self._freq: Dict[int, int] = {}
         self._pers: Dict[int, int] = {}
-        self._seen_this_period: set = set()
+        self._seen_this_period: Set[int] = set()
         self._m_batch = obs.batch_size_histogram(type(self).__name__)
 
     @classmethod
@@ -82,7 +84,9 @@ class SmallSpacePersistent(StreamSummary):
             self._seen_this_period.add(item)
             self._pers[item] = self._pers.get(item, 0) + 1
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         The sampling hash is computed for the whole batch in one

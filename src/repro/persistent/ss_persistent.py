@@ -12,7 +12,7 @@ positives, and never overcount by more than P/m (P = Σ persistencies).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro import obs
 from repro.membership.bloom import BloomFilter
@@ -29,7 +29,7 @@ class SpaceSavingPersistent(StreamSummary):
         bloom: Per-period dedup filter, cleared at each boundary.
     """
 
-    def __init__(self, capacity: int, bloom: BloomFilter):
+    def __init__(self, capacity: int, bloom: BloomFilter) -> None:
         self._ss = SpaceSaving(capacity)
         self.bloom = bloom
         self._m_batch = obs.batch_size_histogram(type(self).__name__)
@@ -54,7 +54,9 @@ class SpaceSavingPersistent(StreamSummary):
         if self.bloom.insert_if_absent(item):
             self._ss.insert(item)
 
-    def insert_many(self, items, counts: Optional[Sequence[int]] = None) -> None:
+    def insert_many(
+        self, items: Iterable[int], counts: Optional[Sequence[int]] = None
+    ) -> None:
         """Batched arrivals, replay-identical to per-event :meth:`insert`.
 
         The Bloom filter's batch probe returns each arrival's

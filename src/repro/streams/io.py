@@ -19,7 +19,7 @@ Non-integer item ids are accepted and canonicalised to 64-bit keys with
 from __future__ import annotations
 
 import io
-from typing import Iterator, List, Sequence, TextIO, Tuple, Union
+from typing import List, TextIO, Tuple, Union
 
 from repro.hashing.family import canonical_key
 from repro.streams.model import PeriodicStream
@@ -181,12 +181,11 @@ class TimeBinnedStream(PeriodicStream):
 
         return bisect.bisect_right(self._boundaries, event_index)
 
-    def iter_periods(self) -> Iterator[Sequence[int]]:
-        """Yield each time bin's arrivals, in order."""
+    def period_slices(self) -> List[Tuple[int, int]]:
+        """Each time bin's ``(start, end)`` event-index range, in order."""
         starts = [0] + self._boundaries
         ends = self._boundaries + [len(self.events)]
-        for start, end in zip(starts, ends):
-            yield self.events[start:end]
+        return list(zip(starts, ends))
 
 
 def dump_items(stream: PeriodicStream, target: Source) -> None:

@@ -10,7 +10,12 @@ protocol ``insert(item)`` / ``end_period()`` / ``finalize()``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Sequence
+from typing import Any, Iterator, List, Sequence, Tuple
+
+try:  # numpy enables zero-copy array batches; loops otherwise.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 
 @dataclass(frozen=True)
@@ -44,6 +49,7 @@ class PeriodicStream:
     num_periods: int
     name: str = "stream"
     _distinct: int = field(default=0, repr=False)
+    _events_cache: Any = field(default=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self._validate()
@@ -80,13 +86,63 @@ class PeriodicStream:
         """Return the period index of the arrival at ``event_index``."""
         return min(event_index // self.period_length, self.num_periods - 1)
 
-    def iter_periods(self) -> Iterator[Sequence[int]]:
-        """Yield the arrivals of each period, in order."""
+    def period_slices(self) -> List[Tuple[int, int]]:
+        """Return each period's ``(start, end)`` event-index range, in order.
+
+        The single source of truth for period structure: ``iter_periods``,
+        ``period_batches``, and the array-batch iteration used by the
+        process-parallel transport all slice ``events`` by these ranges.
+        Count-based streams cut equal slices with the last period absorbing
+        the remainder; boundary-based subclasses override this.
+        """
         n = self.period_length
+        slices: List[Tuple[int, int]] = []
         for p in range(self.num_periods):
             start = p * n
             end = len(self.events) if p == self.num_periods - 1 else start + n
+            slices.append((start, end))
+        return slices
+
+    def iter_periods(self) -> Iterator[Sequence[int]]:
+        """Yield the arrivals of each period, in order."""
+        for start, end in self.period_slices():
             yield self.events[start:end]
+
+    def events_array(self) -> Any:
+        """The whole event sequence as a cached ``int64`` numpy array.
+
+        Returns ``None`` when numpy is unavailable or any event does not
+        fit in a signed 64-bit integer (canonical keys can reach
+        ``2**64 - 1``); callers fall back to the list-based paths.  The
+        conversion is lossless when it succeeds — ``int64`` round-trips
+        every representable Python int exactly — so array batches feed
+        summaries the same values the list batches would.
+        """
+        if self._events_cache is False:
+            if _np is None:
+                self._events_cache = None
+            else:
+                try:
+                    self._events_cache = _np.asarray(
+                        self.events, dtype=_np.int64
+                    )
+                except (OverflowError, TypeError, ValueError):
+                    self._events_cache = None
+        return self._events_cache
+
+    def iter_period_arrays(self) -> Iterator[Any]:
+        """Yield each period as a zero-copy ``int64`` numpy array view.
+
+        Requires :meth:`events_array` to be available — callers must gate
+        on it returning non-``None``.
+        """
+        events = self.events_array()
+        if events is None:
+            raise RuntimeError(
+                "array batches unavailable (no numpy or oversized keys)"
+            )
+        for start, end in self.period_slices():
+            yield events[start:end]
 
     def period_batches(self) -> List[List[int]]:
         """Materialise every period as its own list, in period order.

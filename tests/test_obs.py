@@ -294,6 +294,34 @@ class TestInstrumentedDistributed:
         assert metrics["coordinator_merge_seconds"]["count"] == 1
 
     def test_parallel_metrics_including_ipc_gauge(self):
+        from repro.distributed.parallel import (
+            ParallelMergingCoordinator,
+            worker_processes_available,
+        )
+        from repro.distributed.partition import partition_sharded
+        from repro.streams.synthetic import zipf_stream
+
+        if not worker_processes_available():  # pragma: no cover
+            pytest.skip("no worker processes on this platform")
+        stream = zipf_stream(
+            num_events=4_000, num_distinct=300, skew=1.0, num_periods=4, seed=5
+        )
+        config = LTCConfig(
+            num_buckets=32,
+            bucket_width=8,
+            items_per_period=stream.period_length,
+        )
+        sites = partition_sharded(stream, 2)
+        reg = obs.enable()
+        coordinator = ParallelMergingCoordinator(config, max_workers=2)
+        report = coordinator.run(sites, 20)
+        metrics = {m["name"]: m for m in reg.snapshot()["metrics"]}
+        assert metrics["ingest_ipc_bytes"]["value"] == report.ingest_ipc_bytes
+        assert report.ingest_ipc_bytes > 0
+        assert metrics["coordinator_site_merge_seconds"]["count"] == len(sites)
+        assert metrics["coordinator_merge_seconds"]["count"] == 1
+
+    def test_in_process_fallback_reports_zero_ipc(self):
         from repro.distributed.parallel import ParallelMergingCoordinator
         from repro.distributed.partition import partition_sharded
         from repro.streams.synthetic import zipf_stream
@@ -308,13 +336,13 @@ class TestInstrumentedDistributed:
         )
         sites = partition_sharded(stream, 2)
         reg = obs.enable()
-        coordinator = ParallelMergingCoordinator(config, max_workers=1)
-        report = coordinator.run(sites, 20)
+        report = ParallelMergingCoordinator(config, max_workers=1).run(
+            sites, 20
+        )
         metrics = {m["name"]: m for m in reg.snapshot()["metrics"]}
-        assert metrics["ingest_ipc_bytes"]["value"] == report.ingest_ipc_bytes
-        assert report.ingest_ipc_bytes > 0
-        assert metrics["coordinator_site_merge_seconds"]["count"] == len(sites)
-        assert metrics["coordinator_merge_seconds"]["count"] == 1
+        # No worker processes -> nothing crosses a pipe; the gauge says so.
+        assert report.ingest_ipc_bytes == 0
+        assert metrics["ingest_ipc_bytes"]["value"] == 0
 
     def test_worker_crash_and_retry_counters(self):
         from repro.distributed.parallel import (

@@ -19,13 +19,18 @@ from repro.distributed.parallel import (
     WorkerCrashError,
     ingest_shard,
     process_pool_available,
+    worker_processes_available,
 )
-from repro.distributed.partition import partition_sharded
+from repro.distributed.partition import partition_sharded, shard_of
 from repro.streams.io import TimeBinnedStream
 from repro.streams.synthetic import zipf_stream
 from tests.conftest import make_stream
 
 SHARD_SEED = 0xD15C
+
+needs_processes = pytest.mark.skipif(
+    not worker_processes_available(), reason="platform lacks worker processes"
+)
 
 
 @pytest.fixture(scope="module")
@@ -109,8 +114,163 @@ class TestDifferential:
         assert report.ingest_ipc_bytes > 0
         assert sequential_report.ingest_ipc_bytes == 0
 
+    @needs_processes
+    def test_forced_single_process_worker_matches(
+        self, config, sites, sequential_report
+    ):
+        """use_processes=True runs one persistent worker even at 1 shard/core."""
+        report = ParallelMergingCoordinator(
+            config, max_workers=1, use_processes=True
+        ).run(sites, 50)
+        assert_reports_equal(report, sequential_report)
+        assert report.ingest_ipc_bytes > 0
+
+    @needs_processes
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_pickle_transport_matches_sequential(
+        self, config, sites, sequential_report, workers
+    ):
+        report = ParallelMergingCoordinator(
+            config,
+            max_workers=workers,
+            transport="pickle",
+            use_processes=True,
+        ).run(sites, 50)
+        assert_reports_equal(report, sequential_report)
+
+    def test_owned_key_ranges_are_disjoint_and_stable(self, logical_stream):
+        """shard_of is the routing function partition_sharded applies."""
+        shards = partition_sharded(logical_stream, 4, seed=SHARD_SEED)
+        for index, shard in enumerate(shards):
+            assert all(
+                shard_of(item, 4, SHARD_SEED) == index
+                for item in set(shard.events)
+            )
+
+
+class TestSingleSerialization:
+    """Every outbound message is pickled once: shipped bytes == counted bytes."""
+
+    @needs_processes
+    def test_accounting_reuses_shipped_payloads(
+        self, config, sites, sequential_report, monkeypatch
+    ):
+        from repro.distributed import parallel as parallel_mod
+
+        shipped = []
+        real_dumps = parallel_mod.dumps_ipc
+
+        def counting_dumps(message):
+            payload = real_dumps(message)
+            shipped.append(payload)
+            return payload
+
+        monkeypatch.setattr(parallel_mod, "dumps_ipc", counting_dumps)
+        coordinator = ParallelMergingCoordinator(
+            config, max_workers=2, transport="pickle"
+        )
+        report = coordinator.run(sites, 50)
+        assert_reports_equal(report, sequential_report)
+        # Accounting is exactly the sum of the payloads that went out the
+        # pipe — a second serialisation pass (the old bug) would either
+        # double the byte count or bypass the chokepoint entirely.
+        assert report.ingest_ipc_bytes == sum(len(p) for p in shipped)
+        # And the message count is exactly what the protocol requires:
+        # one chunk per (shard, period) batch (all far below the chunk
+        # size here) plus one finish message per worker.
+        expected = sum(site.num_periods for site in sites) + 2
+        assert len(shipped) == expected
+
+    @needs_processes
+    def test_shm_transport_ships_only_control_messages(self, config, sites):
+        import pickle
+
+        from repro.distributed import transport as transport_mod
+
+        if not transport_mod.shm_available():
+            pytest.skip("shared-memory transport unavailable")
+        report = ParallelMergingCoordinator(
+            config, max_workers=2, transport="shm"
+        ).run(sites, 50)
+        # Control tuples are a few dozen bytes; the events themselves
+        # (thousands of ints) never touch the pipe.
+        raw_events = len(pickle.dumps([s.events for s in sites]))
+        assert 0 < report.ingest_ipc_bytes < raw_events / 10
+
 
 class TestCrashRecovery:
+    @pytest.mark.skipif(
+        not process_pool_available(), reason="platform lacks process pools"
+    )
+    def test_single_crash_counts_exactly_one(
+        self, config, sites, sequential_report
+    ):
+        """Regression: one dead worker at 4 shards is one crash, not four.
+
+        The pool-based engine let a single death poison the whole pool —
+        finished and unstarted shards' futures raised too, were counted
+        as crashes, and were fully re-ingested.  Persistent workers are
+        isolated: the report records exactly the one genuine death.
+        """
+        coordinator = ParallelMergingCoordinator(
+            config, max_workers=4, max_retries=2
+        )
+        coordinator._crash_plan = {1: 1}  # exactly one worker dies, once
+        report = coordinator.run(sites, 50)
+        assert_reports_equal(report, sequential_report)
+        assert report.worker_crashes == 1
+
+    @needs_processes
+    def test_clean_run_reports_zero_crashes(self, config, sites):
+        report = ParallelMergingCoordinator(config, max_workers=2).run(sites, 50)
+        assert report.worker_crashes == 0
+
+    @needs_processes
+    def test_crash_obs_counter_matches_report(self, config, sites):
+        from repro import obs
+
+        reg = obs.enable()
+        try:
+            coordinator = ParallelMergingCoordinator(
+                config, max_workers=4, max_retries=2
+            )
+            coordinator._crash_plan = {2: 1}
+            report = coordinator.run(sites, 50)
+            values = {
+                m["name"]: m["value"]
+                for m in reg.snapshot()["metrics"]
+                if m["type"] == "counter"
+            }
+            assert report.worker_crashes == 1
+            assert values["coordinator_worker_crashes_total"] == 1
+        finally:
+            obs.disable()
+
+    @needs_processes
+    def test_crash_recovery_on_pickle_transport(
+        self, config, sites, sequential_report
+    ):
+        coordinator = ParallelMergingCoordinator(
+            config, max_workers=2, max_retries=2, transport="pickle"
+        )
+        coordinator._crash_plan = {1: 1}
+        report = coordinator.run(sites, 50)
+        assert_reports_equal(report, sequential_report)
+        assert report.worker_crashes == 1
+
+    @needs_processes
+    def test_crash_recovery_at_one_worker(
+        self, config, sites, sequential_report
+    ):
+        """The whole key space on one persistent worker still survives it."""
+        coordinator = ParallelMergingCoordinator(
+            config, max_workers=1, max_retries=2, use_processes=True
+        )
+        coordinator._crash_plan = {0: 1}
+        report = coordinator.run(sites, 50)
+        assert_reports_equal(report, sequential_report)
+        assert report.worker_crashes == 1
+
     @pytest.mark.skipif(
         not process_pool_available(), reason="platform lacks process pools"
     )
@@ -136,8 +296,8 @@ class TestCrashRecovery:
         with pytest.raises(WorkerCrashError) as excinfo:
             coordinator.run(sites, 50)
         error = excinfo.value
-        # The sick shard is named (pool breakage may add collateral shards
-        # that were in flight when the final crash poisoned the pool).
+        # The sick shard is named, along with any other shards owned by
+        # the same persistent worker (they are replayed together).
         assert 0 in error.shards
         assert error.max_retries == 1
         assert "retries" in str(error)
@@ -178,3 +338,25 @@ class TestShardSlicing:
             events=[10, 11, 12, 13], boundaries=[1, 1, 3], name="tb"
         )
         assert stream.period_batches() == [[10], [], [11, 12], [13]]
+
+    def test_period_slices_agree_with_iter_periods(self, logical_stream):
+        """period_slices is the single source of truth for period cuts."""
+        streams = [
+            logical_stream,
+            make_stream([1, 2, 3, 4, 5, 6, 7], num_periods=3),
+            TimeBinnedStream(
+                events=[10, 11, 12, 13], boundaries=[1, 1, 3], name="tb"
+            ),
+        ]
+        for stream in streams:
+            slices = stream.period_slices()
+            assert len(slices) == stream.num_periods
+            assert [stream.events[s:e] for s, e in slices] == [
+                list(p) for p in stream.iter_periods()
+            ]
+
+    def test_array_batches_roundtrip_exactly(self, logical_stream):
+        """The zero-copy views carry the same values as the list batches."""
+        pytest.importorskip("numpy")
+        arrays = list(logical_stream.iter_period_arrays())
+        assert [a.tolist() for a in arrays] == logical_stream.period_batches()
