@@ -15,6 +15,14 @@ Comparing the default and ``--batched`` outputs shows exactly which
 per-event loops the PR-4 batch paths removed — in per-event mode the
 summaries' ``insert`` frames dominate; batched, the numpy kernels and
 the remaining replay loops do.
+
+``--kernel`` pins the LTC implementation for the sweep (the line-up
+default otherwise).  For the columnar family (``columnar``/``auto``)
+the script additionally instruments the four ingest phases — probe /
+clean-hit / dirty-replay / harvest — and prints an exclusive-time
+breakdown, which is how the segmented-replay work was sized: a chunk is
+probed once, its clean prefix aggregates in bulk, the dirty tail runs
+the peeling kernel, and the CLOCK harvest closes the chunk.
 """
 
 from __future__ import annotations
@@ -23,6 +31,77 @@ import argparse
 import cProfile
 import pstats
 import sys
+import time
+from typing import Any, Callable, Dict, List, Tuple
+
+
+#: Columnar ingest phases, in chunk order: (label, method name).
+_PHASES: "List[Tuple[str, str]]" = [
+    ("probe", "_probe_chunk"),
+    ("clean-hit", "_apply_hit_slots"),
+    ("dirty-replay", "_replay_dirty"),
+    ("harvest", "_harvest_segments"),
+]
+
+
+class PhaseTimer:
+    """Exclusive wall-time accumulator for nested phase methods.
+
+    ``_replay_dirty`` calls ``_harvest_segments`` for the chunks it
+    finishes itself, so naive per-method totals would double-count: a
+    stack tracks the running child time and each phase records only the
+    time not already attributed to a nested phase.
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._stack: List[List[Any]] = []
+        self._restore: List[Tuple[type, str, Any]] = []
+
+    def wrap(self, cls: type, method: str, phase: str) -> None:
+        orig = getattr(cls, method)
+        timer = self
+
+        def wrapper(instance: Any, *args: Any, **kwargs: Any) -> Any:
+            start = time.perf_counter()
+            timer._stack.append([phase, 0.0])
+            try:
+                return orig(instance, *args, **kwargs)
+            finally:
+                elapsed = time.perf_counter() - start
+                _, child = timer._stack.pop()
+                timer.totals[phase] = (
+                    timer.totals.get(phase, 0.0) + elapsed - child
+                )
+                timer.calls[phase] = timer.calls.get(phase, 0) + 1
+                if timer._stack:
+                    timer._stack[-1][1] += elapsed
+
+        setattr(cls, method, wrapper)
+        self._restore.append((cls, method, orig))
+
+    def unwrap(self) -> None:
+        for cls, method, orig in self._restore:
+            setattr(cls, method, orig)
+        self._restore.clear()
+
+    def report(self, out: Any) -> None:
+        total = sum(self.totals.values())
+        print("\ncolumnar ingest phases (exclusive time):", file=out)
+        print(
+            f"  {'phase':<14}{'calls':>10}{'seconds':>12}{'share':>9}",
+            file=out,
+        )
+        for phase, _ in _PHASES:
+            seconds = self.totals.get(phase, 0.0)
+            calls = self.calls.get(phase, 0)
+            share = seconds / total if total else 0.0
+            print(
+                f"  {phase:<14}{calls:>10}{seconds:>12.4f}{share:>8.1%}",
+                file=out,
+            )
+        print(f"  {'total':<14}{'':>10}{total:>12.4f}", file=out)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--batched",
         action="store_true",
         help="drive the sweep through the insert_many fast paths",
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=["reference", "fast", "columnar", "auto"],
+        default=None,
+        help=(
+            "pin the LTC kernel for the sweep; columnar/auto also print "
+            "the per-phase ingest breakdown (default: line-up default)"
+        ),
     )
     parser.add_argument(
         "--top",
@@ -88,13 +176,18 @@ def main(argv: "list[str] | None" = None) -> int:
         seed=args.seed,
     )
     budget = MemoryBudget(kb(args.memory_kb))
+    ltc_options = {} if args.kernel is None else {"kernel": args.kernel}
     if args.lineup == "frequent":
-        factories = default_algorithms_frequent(budget, stream, args.k)
+        factories = default_algorithms_frequent(
+            budget, stream, args.k, **ltc_options
+        )
     elif args.lineup == "persistent":
-        factories = default_algorithms_persistent(budget, stream, args.k)
+        factories = default_algorithms_persistent(
+            budget, stream, args.k, **ltc_options
+        )
     else:
         factories = default_algorithms_significant(
-            budget, stream, args.k, 1.0, 1.0
+            budget, stream, args.k, 1.0, 1.0, **ltc_options
         )
     # Oracle outside the profile: it is setup, not sweep work.
     truth = GroundTruth(stream)
@@ -105,15 +198,35 @@ def main(argv: "list[str] | None" = None) -> int:
         f"{args.events} events ({mode})",
         file=sys.stderr,
     )
+    timer: "PhaseTimer | None" = None
+    if args.kernel in ("columnar", "auto"):
+        from repro.core.columnar import ColumnarLTC
+
+        timer = PhaseTimer()
+        for phase, method in _PHASES:
+            timer.wrap(ColumnarLTC, method, phase)
+
     profiler = cProfile.Profile()
     profiler.enable()
-    results = run_and_evaluate(
-        factories, stream, args.k, 1.0, 1.0, truth=truth, batched=args.batched
-    )
-    profiler.disable()
+    try:
+        results = run_and_evaluate(
+            factories,
+            stream,
+            args.k,
+            1.0,
+            1.0,
+            truth=truth,
+            batched=args.batched,
+        )
+    finally:
+        profiler.disable()
+        if timer is not None:
+            timer.unwrap()
 
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if timer is not None:
+        timer.report(sys.stdout)
     if args.out:
         stats.dump_stats(args.out)
         print(f"raw pstats written to {args.out}", file=sys.stderr)

@@ -2,12 +2,11 @@
 
 :class:`repro.core.fast_ltc.FastLTC` removes the bucket scan from the hit
 path but still pays one interpreted iteration per arrival.  This kernel
-removes the per-arrival loop itself for the common case: the cell state
-lives in numpy **columns** (``int64`` frequency / persistency / flag
-arrays plus a ``uint64`` fingerprint column and a boolean occupancy
-column), a whole batch is hashed and probed with array expressions, and
-the CLOCK sweep is applied as at most two contiguous array slices per
-harvest (wrap-around splits the ``hand → hand+steps`` range in two).
+removes the per-arrival loop itself: the cell state lives in numpy
+**columns** (``int64`` frequency / persistency / flag arrays plus a
+``uint64`` fingerprint column and a boolean occupancy column), a whole
+batch is hashed and probed with array expressions, and the CLOCK sweep is
+applied as at most two contiguous array slices per harvest.
 
 Replay identity with the per-event path rests on a commutation argument,
 valid exactly when the Deviation Eliminator is on (``set`` and ``harvest``
@@ -16,13 +15,29 @@ flags are then distinct bits):
 * a **hit** touches only its own cell's frequency and set-flag; a
   **harvest** touches only a cell's harvest-flag and persistency counter —
   disjoint state, so hits commute with harvests;
-* misses do not commute (they evict, reseed, and consult bucket minima),
-  so any bucket receiving a miss in the current chunk is **dirty**: every
-  event targeting a dirty bucket is replayed one-by-one in stream order,
-  interleaved with the CLOCK schedule at exactly the arrival offsets the
-  per-event path would use.  Clean buckets receive only hits, their key
-  sets provably cannot change inside the chunk, and their hits are
-  aggregated up front with one ``bincount``.
+* misses do not commute *within a bucket* (they evict, reseed, and consult
+  bucket minima), so any bucket receiving a miss in the current chunk is
+  **dirty**.  Clean buckets receive only hits, their key sets provably
+  cannot change inside the chunk, and their hits are aggregated up front
+  with one ``bincount``.
+* operations on **different buckets** touch disjoint cells, so the dirty
+  tail only needs per-bucket order: events targeting different dirty
+  buckets may be applied in any interleaving.
+
+The dirty tail is resolved by a **segmented, round-based replay**
+(:meth:`ColumnarLTC._replay_segmented`): each dirty bucket gets a FIFO
+queue of its pending operations (events, plus the CLOCK sweeps of its
+slots at their exact arrival offsets), and one *round* applies every
+queue's next operation simultaneously — a vectorized classify
+(hit / empty-claim / eviction-candidate), a batched ``argmin``
+-significance eviction over the ``(n_buckets, d)`` row view, and
+vectorized decrement/flag bookkeeping.  Within-bucket order is preserved,
+so cell state stays byte-identical to per-event replay.  Sweeps of clean
+buckets commute with every chunk operation and are applied in one bulk
+pass; the CLOCK accumulator/hand are finalised in closed form.  When too
+few buckets stay active for vectorization to pay (a collision storm on
+one bucket, or a lightly dirty chunk), the replay degrades to the scalar
+per-event loop, which remains the exact reference for the round kernel.
 
 The batch is processed in fixed-size chunks so dirtiness is a per-chunk
 property — on hit-heavy streams almost every chunk is all-clean and runs
@@ -34,7 +49,16 @@ equality against FastLTC and the reference LTC either way.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 try:  # numpy accelerates the batch path; scalar paths work without it.
     import numpy as _np
@@ -53,6 +77,25 @@ from repro.summaries.base import ItemReport, expand_counts
 #: two for the bench workloads.
 _CHUNK = 4096
 
+#: Minimum dirty-tail size before the segmented round replay engages.
+#: Below it, queue construction (argsort + segment bookkeeping) costs more
+#: than the scalar loop it replaces — the hit-heavy w=512 bench point has
+#: a handful of dirty events per chunk and must stay on the scalar tail.
+_SEG_MIN_DIRTY = 64
+
+#: Peel-loop drain threshold: once fewer queues than this still hold
+#: pending misses, the per-round numpy overhead exceeds the scalar cost
+#: of finishing their queues, so the remainder drains through the
+#: memoryview per-event path.  Also the adversarial guard: a collision
+#: storm on one bucket never pays for degenerate single-lane rounds.
+_SEG_MIN_ACTIVE = 16
+
+_INT64_MAX = (1 << 63) - 1
+#: Products like ``total_steps * items_per_period`` must stay inside
+#: int64 for the vectorized sweep schedule; beyond this the replay falls
+#: back to the (arbitrary-precision) scalar tail.
+_SCHEDULE_LIMIT = 1 << 62
+
 
 class ColumnarLTC(FastLTC):
     """LTC with numpy column storage and a vectorized ``insert_many``.
@@ -66,6 +109,10 @@ class ColumnarLTC(FastLTC):
 
     def __init__(self, config: LTCConfig) -> None:
         super().__init__(config)
+        #: Per-chunk classification hook ``(span, n_clean, n_dirty)`` —
+        #: the auto-kernel probe attaches here; one is-None test per chunk
+        #: when unused.
+        self._probe: Optional[Callable[[int, int, int], None]] = None
         self._vec = _np is not None
         if self._vec:
             self._columnize()
@@ -79,6 +126,16 @@ class ColumnarLTC(FastLTC):
         self._flags = _np.frombuffer(bytes(self._flags), dtype=_np.uint8).astype(
             _np.int64
         )
+        # Memoryviews over the same buffers: scalar indexed read/write is
+        # ~2x cheaper than through the ndarray protocol, which is what the
+        # per-event insert() short-circuit and the queue drain ride on.
+        self._freq_mv = memoryview(self._freqs)
+        self._counter_mv = memoryview(self._counters)
+        self._flag_mv = memoryview(self._flags)
+        # Cached (w, d) row views of the value columns for the batched
+        # argmin eviction (reshape is cheap but not free per miss round).
+        self._freqs2 = self._freqs.reshape(self._w, self._d)
+        self._counters2 = self._counters.reshape(self._w, self._d)
         self._rebuild_key_columns()
 
     def _rebuild_key_columns(self) -> None:
@@ -108,6 +165,11 @@ class ColumnarLTC(FastLTC):
         self._occ = None
         self._kcol2 = None
         self._occ2 = None
+        self._freq_mv = None
+        self._counter_mv = None
+        self._flag_mv = None
+        self._freqs2 = None
+        self._counters2 = None
 
     def _sync_bucket(self, base: int) -> None:
         """Refresh the key columns for one bucket after a scalar miss."""
@@ -127,6 +189,165 @@ class ColumnarLTC(FastLTC):
                     return
 
     # ----------------------------------------------------------- insertion
+    def insert(self, item: int) -> None:
+        """Single arrival, short-circuited past the ndarray protocol.
+
+        Matches :meth:`repro.core.ltc.LTC.insert` observable-state-for-
+        state; the hit path goes through int64 memoryviews (cheap scalar
+        indexing) and the CLOCK advance is inlined so per-event mode costs
+        no more than :class:`FastLTC` despite the column mirror.
+        """
+        if not self._vec:
+            super().insert(item)
+            return
+        if self._obs is not None:
+            self._m_inserts.inc()
+        slot = self._slot_of.get(item)
+        if slot is not None:
+            self._freq_mv[slot] += 1
+            self._flag_mv[slot] |= self._set_bit
+            if self._cell_listener is not None:
+                self._cell_listener.cell_touched(slot)
+        else:
+            self._scalar_miss(item)
+        clock = self._clock
+        acc = clock._acc + clock.num_cells
+        n = clock.items_per_period
+        if acc < n:
+            clock._acc = acc
+            return
+        steps = acc // n
+        clock._acc = acc - steps * n
+        self._harvest_segments(steps)
+
+    def _scalar_miss(self, item: int) -> bool:
+        """One miss through the memoryview columns (no CLOCK advance).
+
+        Mirrors ``FastLTC._place_miss`` line for line — same float
+        scoring, same tie-breaking, same flag reconciliation — but reads
+        and writes the int64 columns through memoryviews and syncs only
+        the single touched fingerprint slot, instead of re-deriving the
+        whole bucket.  Serves both the per-event ``insert`` short-circuit
+        and the segmented replay's queue drain.  Returns ``True`` when
+        the bucket's key set changed (claim or eviction), ``False`` for a
+        Significance Decrement the incumbent survived — the drain uses
+        this to know when cached hit slots go stale.
+        """
+        if not self._vec:
+            # A prior oversized key dropped the column mirror mid-stream
+            # (callers may hold stale memoryviews over the still-live
+            # numpy buffers); finish through the FastLTC path.
+            self._place_miss(item)
+            return True
+        d = self._d
+        base = (splitmix64(item ^ self._seed) % self._w) * d
+        keys = self._keys
+        fmv = self._freq_mv
+        cmv = self._counter_mv
+        flmv = self._flag_mv
+        listener = self._cell_listener
+        empty = -1
+        for j in range(base, base + d):
+            if keys[j] is None:
+                empty = j
+                break
+        if empty >= 0:  # Free cell: claim it.
+            keys[empty] = item
+            fmv[empty] = 1
+            cmv[empty] = 0
+            flmv[empty] = self._set_bit
+            self._slot_of[item] = empty
+            self._occ[empty] = True
+            try:
+                self._kcol[empty] = item
+            except (OverflowError, TypeError, ValueError):
+                self._disable_vectorization()
+            if listener is not None:
+                listener.cell_touched(empty)
+            return True
+        alpha, beta = self._alpha, self._beta
+        metered = self._obs is not None
+        jmin = base
+        smin = alpha * fmv[base] + beta * cmv[base]
+        for j in range(base + 1, base + d):
+            s = alpha * fmv[j] + beta * cmv[j]
+            if s < smin:
+                smin, jmin = s, j
+        if self._policy == "space-saving":
+            if metered:
+                self._m_evictions.inc()
+            old = keys[jmin]
+            if old is not None:
+                del self._slot_of[old]
+            keys[jmin] = item
+            fmv[jmin] += 1
+            flmv[jmin] = self._set_bit
+            self._slot_of[item] = jmin
+            try:
+                self._kcol[jmin] = item
+            except (OverflowError, TypeError, ValueError):
+                self._disable_vectorization()
+            if listener is not None:
+                listener.cell_touched(jmin)
+            return True
+        if metered:
+            self._m_decrements.inc()
+        fj = fmv[jmin]
+        if cmv[jmin] > 0:
+            cmv[jmin] -= 1
+        elif fj > 0:
+            # Charge the decrement to the oldest pending flag when the
+            # counter is empty and the flags cover the whole frequency
+            # (see LTC._decrement_smallest).
+            bits = flmv[jmin]
+            if (bits & 1) + (bits >> 1 & 1) >= fj:
+                if bits & self._harvest_bit:
+                    flmv[jmin] = bits & ~self._harvest_bit & 0xFF
+                else:
+                    flmv[jmin] = bits & ~self._set_bit & 0xFF
+        if fj > 0:
+            fj -= 1
+            fmv[jmin] = fj
+        if alpha * fj + beta * cmv[jmin] > 0:
+            if listener is not None:
+                listener.cell_touched(jmin)
+            return False
+        if self._ltr and d > 1:
+            f2 = c2 = None
+            for j in range(base, base + d):
+                if j == jmin:
+                    continue
+                fv = fmv[j]
+                if f2 is None or fv < f2:
+                    f2 = fv
+                cv = cmv[j]
+                if c2 is None or cv < c2:
+                    c2 = cv
+            assert f2 is not None and c2 is not None
+            f0 = max(f2 - 1, 1)
+            c0 = min(max(c2 - 1, 0), f0 - 1)
+            if metered:
+                self._m_longtail.inc()
+        else:
+            f0, c0 = 1, 0
+        if metered:
+            self._m_evictions.inc()
+        old = keys[jmin]
+        if old is not None:
+            del self._slot_of[old]
+        keys[jmin] = item
+        fmv[jmin] = f0
+        cmv[jmin] = c0
+        flmv[jmin] = self._set_bit
+        self._slot_of[item] = jmin
+        try:
+            self._kcol[jmin] = item
+        except (OverflowError, TypeError, ValueError):
+            self._disable_vectorization()
+        if listener is not None:
+            listener.cell_touched(jmin)
+        return True
+
     def _place_miss(self, item: int) -> None:
         super()._place_miss(item)
         if self._vec:
@@ -192,22 +413,18 @@ class ColumnarLTC(FastLTC):
         b = buckets[start:stop]
         s0 = slots0[start:stop]
         span = stop - start
-        # Row-gather through the (w, d) views: one fancy index per column
-        # instead of materialising a per-event cell-index matrix.
-        eq = (self._kcol2[b] == arr[start:stop, None]) & self._occ2[b]
-        hit = eq.any(axis=1)
-        listener = self._cell_listener
+        eq, hit = self._probe_chunk(b, arr[start:stop])
+        # Per-event hit slots, valid wherever ``hit`` holds — reused by
+        # both the clean-hit aggregation and the dirty replay's initial
+        # classification (no key set changes between here and there).
+        slots = s0 + eq.argmax(axis=1)
         if hit.all():
             # All-hit chunk (the steady state on hit-heavy streams): every
             # event is clean, aggregate with one bincount and advance the
             # CLOCK over the whole span in one go.
-            adds = _np.bincount(
-                s0 + eq.argmax(axis=1), minlength=self.total_cells
-            )
-            self._freqs += adds
-            self._flags[adds > 0] |= self._set_bit
-            if listener is not None:
-                listener.cells_touched(_np.flatnonzero(adds).tolist())
+            if self._probe is not None:
+                self._probe(span, span, 0)
+            self._apply_hit_slots(slots)
             self._advance_and_harvest(span)
             return
         # An event is clean iff it hits AND precedes its bucket's first
@@ -217,30 +434,84 @@ class ColumnarLTC(FastLTC):
         first_miss = _np.full(self._w, span, dtype=_np.int64)
         _np.minimum.at(first_miss, b[misses], misses)
         clean = hit & (_np.arange(span, dtype=_np.int64) < first_miss[b])
-        if clean.any():
+        dirty = _np.flatnonzero(~clean)
+        if self._probe is not None:
+            self._probe(span, span - len(dirty), len(dirty))
+        if len(dirty) < span:
             # Clean hits commute with everything in the chunk: aggregate
             # them up front with one bincount per chunk.
-            adds = _np.bincount(
-                (s0 + eq.argmax(axis=1))[clean], minlength=self.total_cells
-            )
-            self._freqs += adds
-            self._flags[adds > 0] |= self._set_bit
-            if listener is not None:
-                listener.cells_touched(_np.flatnonzero(adds).tolist())
-        # Remaining events replay one-by-one in stream order, the CLOCK
-        # advanced to each event's exact arrival offset (inlined
-        # on_arrivals arithmetic and hit path, as in FastLTC.insert_many).
+            self._apply_hit_slots(slots[clean])
+        # Initial dirty-tail classification, straight from the chunk
+        # probe: the clean hits just applied cannot change any key set.
+        dirty_slots = _np.where(hit[dirty], slots[dirty], _np.int64(-1))
+        self._replay_dirty(seq, arr, b, start, span, dirty, dirty_slots)
+
+    def _probe_chunk(self, b: Any, karr: Any) -> Tuple[Any, Any]:
+        """Probe one chunk's keys against their bucket rows.
+
+        Row-gather through the (w, d) views: one fancy index per column
+        instead of materialising a per-event cell-index matrix.  Returns
+        the per-event ``(span, d)`` equality matrix and the hit mask.
+        """
+        eq = (self._kcol2[b] == karr[:, None]) & self._occ2[b]
+        return eq, eq.any(axis=1)
+
+    def _apply_hit_slots(self, slots: Any) -> None:
+        """Aggregate a set of hit events (given as slots) in one pass."""
+        adds = _np.bincount(slots, minlength=self.total_cells)
+        self._freqs += adds
+        self._flags[adds > 0] |= self._set_bit
+        if self._cell_listener is not None:
+            self._cell_listener.cells_touched(_np.flatnonzero(adds).tolist())
+
+    # ------------------------------------------------------- dirty replay
+    def _replay_dirty(
+        self,
+        seq: Sequence[int],
+        arr: Any,
+        b: Any,
+        start: int,
+        span: int,
+        dirty: Any,
+        dirty_slots: Any,
+    ) -> None:
+        """Replay the dirty tail of one chunk (events at offsets ``dirty``).
+
+        ``dirty_slots`` carries the chunk probe's classification of each
+        dirty event against the pre-replay table (slot, or -1 for a miss).
+        """
+        clock = self._clock
+        if (
+            len(dirty) >= _SEG_MIN_DIRTY
+            and clock.items_per_period * (clock.num_cells + 1) < _SCHEDULE_LIMIT
+        ):
+            self._replay_segmented(seq, arr, b, start, span, dirty, dirty_slots)
+        else:
+            self._replay_scalar(seq, start, span, dirty.tolist())
+
+    def _replay_scalar(
+        self, seq: Sequence[int], start: int, span: int, dirty: List[int]
+    ) -> None:
+        """Per-event dirty-tail replay (the segmented kernel's reference).
+
+        Events replay one-by-one in stream order, the CLOCK advanced to
+        each event's exact arrival offset (inlined on_arrivals arithmetic
+        and hit path, as in FastLTC.insert_many) — hits and misses
+        through the memoryview columns, which also serves
+        :class:`repro.core.auto.AutoLTC` as its whole-batch fast mode.
+        """
+        listener = self._cell_listener
         get = self._slot_of.get
-        freqs = self._freqs
-        flags = self._flags
+        freqs = self._freq_mv
+        flags = self._flag_mv
         set_bit = self._set_bit
-        miss = self._place_miss
+        miss = self._scalar_miss
         clock = self._clock
         n = clock.items_per_period
         m = clock.num_cells
         acc = clock._acc
         prev = 0
-        for k in _np.flatnonzero(~clean).tolist():
+        for k in dirty:
             gap = k - prev
             if gap:
                 acc += gap * m
@@ -270,6 +541,442 @@ class ColumnarLTC(FastLTC):
                 acc -= steps * n
                 self._harvest_segments(steps)
         clock._acc = acc
+
+    def _replay_segmented(
+        self,
+        seq: Sequence[int],
+        arr: Any,
+        b: Any,
+        start: int,
+        span: int,
+        dirty: Any,
+        dirty_slots: Any,
+    ) -> None:
+        """Segmented, round-based vectorized replay of the dirty tail.
+
+        Builds one FIFO operation queue per dirty bucket — the bucket's
+        events, merged with the CLOCK sweeps of its slots at the exact
+        arrival offsets the per-event path would take them (a sweep
+        triggered by arrival ``k`` lands *after* event ``k``, encoded by
+        the ``2k`` / ``2k+1`` order keys) — then resolves the queues round
+        by round in :meth:`_run_peels`.  Sweeps of clean buckets commute
+        with the whole chunk and are applied in one bulk pass; the CLOCK
+        state is finalised in closed form (the accumulator evolves mod
+        ``items_per_period`` independently of the sweep cap).
+        """
+        np = _np
+        d = self._d
+        clock = self._clock
+        n = clock.items_per_period
+        m = clock.num_cells
+        acc0 = clock._acc
+        hand0 = clock.hand
+        scanned0 = clock.scanned_in_period
+        total_steps = (acc0 + span * m) // n
+        if total_steps > m - scanned0:
+            total_steps = m - scanned0
+        if total_steps > 0:
+            t = np.arange(1, total_steps + 1, dtype=np.int64)
+            sweep_slots = (hand0 + t - 1) % m
+            # Sweep t fires after the arrival at offset ceil((t*n-acc0)/m)-1.
+            sweep_offsets = (t * n - acc0 - 1) // m
+        else:
+            sweep_slots = np.empty(0, dtype=np.int64)
+            sweep_offsets = sweep_slots
+        eb = b[dirty]
+        dirty_bucket = np.zeros(self._w, dtype=bool)
+        dirty_bucket[eb] = True
+        sweep_bucket = sweep_slots // d
+        sweep_is_dirty = dirty_bucket[sweep_bucket]
+        if not sweep_is_dirty.all():
+            self._sweep_slots(sweep_slots[~sweep_is_dirty])
+        # Queue construction: events carry their chunk offset as payload,
+        # sweeps carry their slot; lexsort groups by bucket and orders each
+        # group by the interleaving key.
+        okey = np.concatenate(
+            (2 * dirty, 2 * sweep_offsets[sweep_is_dirty] + 1)
+        )
+        obucket = np.concatenate((eb, sweep_bucket[sweep_is_dirty]))
+        opayload = np.concatenate((dirty, sweep_slots[sweep_is_dirty]))
+        is_sweep = np.zeros(len(okey), dtype=bool)
+        is_sweep[len(dirty):] = True
+        oslot = np.concatenate(
+            (dirty_slots, np.full(len(okey) - len(dirty), -1, dtype=np.int64))
+        )
+        order = np.lexsort((okey, obucket))
+        qbucket = obucket[order]
+        payload = opayload[order]
+        sweep_op = is_sweep[order]
+        seg_start = np.empty(len(qbucket), dtype=bool)
+        seg_start[0] = True
+        np.not_equal(qbucket[1:], qbucket[:-1], out=seg_start[1:])
+        starts = np.flatnonzero(seg_start)
+        ends = np.append(starts[1:], np.int64(len(qbucket)))
+        self._run_peels(
+            seq, arr, start, qbucket, payload, sweep_op, oslot[order],
+            np.cumsum(seg_start) - 1, starts, ends,
+        )
+        clock._acc = (acc0 + span * m) % n
+        clock.hand = (hand0 + total_steps) % m
+        clock.scanned_in_period = scanned0 + total_steps
+
+    def _run_peels(
+        self,
+        seq: Sequence[int],
+        arr: Any,
+        start: int,
+        qbucket: Any,
+        payload: Any,
+        sweep_op: Any,
+        hitslot: Any,
+        qid: Any,
+        starts: Any,
+        ends: Any,
+    ) -> None:
+        """Resolve the per-bucket queues by peeling hit prefixes.
+
+        Each *peel* round applies, per queue, every operation up to (but
+        excluding) the queue's first pending **miss** in one bulk pass —
+        hit prefixes are valid against the current table because hits and
+        sweeps never change a bucket's key set — then applies one miss per
+        queue vectorized (:meth:`_apply_misses`).  Only buckets whose key
+        set actually changed (claims, evictions) re-probe their remaining
+        events; Significance Decrementing that leaves the incumbent in
+        place invalidates nothing.  Rounds are therefore bounded by the
+        deepest per-bucket *miss* chain, not the deepest event chain, and
+        the bulk passes run at full batch width.  When fewer than
+        ``_SEG_MIN_ACTIVE`` queues still hold misses, the survivors drain
+        through the scalar per-event machinery (which keeps metrics and
+        listener notifications exact).
+        """
+        np = _np
+        nops = len(payload)
+        nq = len(starts)
+        pos = np.arange(nops, dtype=np.int64)
+        is_event = ~sweep_op
+        # ``hitslot``: per event, the slot its key occupies under the
+        # *current* table (-1 = miss), seeded from the chunk probe.  Sweep
+        # entries stay -1 but are masked out by ``is_event`` wherever
+        # pending misses are collected.
+        bucket_of_queue = qbucket[starts]
+        # ``live`` holds the (ascending) indices of ops not yet applied;
+        # every peel removes a strict per-queue prefix, so each queue's
+        # next pending op is simply its minimum surviving index.  After
+        # the first round the array shrinks to the contended tail and the
+        # per-peel bookkeeping cost follows it down.
+        live = pos
+        first_miss = np.empty(nq, dtype=np.int64)
+        cur = ends
+        while True:
+            lq = qid[live]
+            lp = live[is_event[live] & (hitslot[live] < 0)]
+            if len(lp) == 0:
+                self._flush_ops(live, payload, sweep_op, hitslot)
+                break
+            # Ops are ordered by queue, so ``qid[lp]`` is non-decreasing
+            # and each run's first element is that queue's earliest miss.
+            fq = qid[lp]
+            head = np.ones(len(fq), dtype=bool)
+            np.not_equal(fq[1:], fq[:-1], out=head[1:])
+            first_miss[:] = nops
+            first_miss[fq[head]] = lp[head]
+            has_miss = first_miss < nops
+            if int(np.count_nonzero(has_miss)) < _SEG_MIN_ACTIVE:
+                # Too few lanes to pay for vectorized miss resolution:
+                # flush the miss-free queues whole, drain the rest scalar.
+                keep = has_miss[lq]
+                self._flush_ops(live[~keep], payload, sweep_op, hitslot)
+                live = live[keep]
+                cur = ends.copy()
+                if len(live):
+                    vq = qid[live]
+                    vh = np.ones(len(vq), dtype=bool)
+                    np.not_equal(vq[1:], vq[:-1], out=vh[1:])
+                    cur[vq[vh]] = live[vh]
+                break
+            # Miss-free queues get bound=nops, i.e. flush everything.
+            bound = np.where(has_miss, first_miss, np.int64(nops))
+            fmask = live < bound[lq]
+            self._flush_ops(live[fmask], payload, sweep_op, hitslot)
+            live = live[~fmask]
+            midx = first_miss[has_miss]
+            changed = self._apply_misses(
+                seq, arr, start, payload[midx], bucket_of_queue[has_miss]
+            )
+            # The applied misses are exactly each queue's minimum live op.
+            live = live[live != first_miss[qid[live]]]
+            if changed.any():
+                # Re-probe the remaining events of key-changed buckets: a
+                # claim/eviction can flip later same-bucket events either
+                # way (miss→hit for the installed key, hit→miss for the
+                # evicted one).
+                changed_q = np.zeros(nq, dtype=bool)
+                changed_q[np.flatnonzero(has_miss)[changed]] = True
+                rp = live[is_event[live] & changed_q[qid[live]]]
+                if len(rp):
+                    self._probe_ops(rp, qbucket, payload, arr, start, hitslot)
+        # Scalar drain of the surviving queues: per-bucket order is all
+        # that matters, so each queue finishes independently through the
+        # memoryview per-event machinery.
+        rest = np.flatnonzero(cur < ends)
+        if len(rest):
+            get = self._slot_of.get
+            fmv = self._freq_mv
+            flmv = self._flag_mv
+            set_bit = self._set_bit
+            miss = self._scalar_miss
+            harvest = self._drain_harvest
+            listener = self._cell_listener
+            cur_l = cur.tolist()
+            ends_l = ends.tolist()
+            pay_l = payload.tolist()
+            sw_l = sweep_op.tolist()
+            hs_l = hitslot.tolist()
+            for q in rest.tolist():
+                # ``hitslot`` is maintained current for every unapplied
+                # op, so the drain can trust it until this queue's first
+                # key-set change; after that, fall back to dict lookups.
+                fresh = True
+                for p in range(cur_l[q], ends_l[q]):
+                    if sw_l[p]:
+                        harvest(pay_l[p])
+                    elif fresh:
+                        slot = hs_l[p]
+                        if slot >= 0:
+                            fmv[slot] += 1
+                            flmv[slot] |= set_bit
+                            if listener is not None:
+                                listener.cell_touched(slot)
+                        else:
+                            fresh = not miss(seq[start + pay_l[p]])
+                    else:
+                        item = seq[start + pay_l[p]]
+                        slot2 = get(item)
+                        if slot2 is not None:
+                            fmv[slot2] += 1
+                            flmv[slot2] |= set_bit
+                            if listener is not None:
+                                listener.cell_touched(slot2)
+                        else:
+                            miss(item)
+
+    def _drain_harvest(self, slot: int) -> None:
+        """CLOCK scan of one cell through the memoryview columns.
+
+        Mirrors ``LTC._harvest`` minus the pointer bookkeeping — the
+        segmented replay schedules sweeps itself.
+        """
+        flmv = self._flag_mv
+        bits = flmv[slot]
+        if bits & self._harvest_bit:
+            flmv[slot] = bits & ~self._harvest_bit & 0xFF
+            if self._keys[slot] is not None:
+                self._counter_mv[slot] += 1
+                if self._obs is not None:
+                    self._m_harvests.inc()
+                if self._cell_listener is not None:
+                    self._cell_listener.cell_touched(slot)
+
+    def _probe_ops(
+        self,
+        idxs: Any,
+        qbucket: Any,
+        payload: Any,
+        arr: Any,
+        start: int,
+        hitslot: Any,
+    ) -> None:
+        """Classify event ops against the current table into ``hitslot``."""
+        np = _np
+        bk = qbucket[idxs]
+        keys = arr[start + payload[idxs]]
+        eqr = (self._kcol2[bk] == keys[:, None]) & self._occ2[bk]
+        hm = eqr.any(axis=1)
+        hitslot[idxs] = np.where(
+            hm, bk * self._d + eqr.argmax(axis=1), np.int64(-1)
+        )
+
+    def _flush_ops(
+        self, idxs: Any, payload: Any, sweep_op: Any, hitslot: Any
+    ) -> None:
+        """Bulk-apply a set of hit events and sweeps (no misses).
+
+        Hits commute with hits (frequency adds and identical set-bit OR)
+        and with sweeps (disjoint cell state), so one ``bincount``
+        aggregation and one sweep pass apply the whole set exactly.
+        """
+        if len(idxs) == 0:
+            return
+        np = _np
+        sw = sweep_op[idxs]
+        if sw.any():
+            self._sweep_slots(payload[idxs[sw]])
+            idxs = idxs[~sw]
+            if len(idxs) == 0:
+                return
+        adds = np.bincount(hitslot[idxs], minlength=self.total_cells)
+        self._freqs += adds
+        self._flags[adds > 0] |= self._set_bit
+        if self._cell_listener is not None:
+            self._cell_listener.cells_touched(np.flatnonzero(adds).tolist())
+
+    def _apply_misses(
+        self, seq: Sequence[int], arr: Any, start: int, koff: Any, ebk: Any
+    ) -> Any:
+        """Apply one miss per bucket (all ``ebk`` distinct), vectorized.
+
+        Mirrors ``FastLTC._place_miss`` lane for lane: empty-cell claim,
+        else Significance Decrementing with the batched argmin eviction.
+        Distinct buckets mean the slot-index arrays are duplicate-free, so
+        plain fancy writes are exact.  Returns the per-lane mask of
+        buckets whose **key set** changed (claim or eviction) — the only
+        ones whose pending classifications need re-probing.
+        """
+        np = _np
+        d = self._d
+        freqs = self._freqs
+        counters = self._counters
+        flags = self._flags
+        kcol = self._kcol
+        occ = self._occ
+        keys = self._keys
+        slot_of = self._slot_of
+        set_bit = self._set_bit
+        listener = self._cell_listener
+        metered = self._obs is not None
+        changed = np.zeros(len(ebk), dtype=bool)
+        rows_o = self._occ2[ebk]
+        has_empty = ~rows_o.all(axis=1)
+        if has_empty.any():
+            crow = np.flatnonzero(has_empty)
+            # First free cell, as in the scalar scan.
+            cslot = ebk[crow] * d + (~rows_o[crow]).argmax(axis=1)
+            coff = koff[crow]
+            freqs[cslot] = 1
+            counters[cslot] = 0
+            flags[cslot] = set_bit
+            occ[cslot] = True
+            kcol[cslot] = arr[start + coff]
+            changed[crow] = True
+            for s, k in zip(cslot.tolist(), coff.tolist()):
+                item = seq[start + k]
+                keys[s] = item
+                slot_of[item] = s
+            if listener is not None:
+                listener.cells_touched(cslot.tolist())
+        if has_empty.all():
+            return changed
+        frow = np.flatnonzero(~has_empty)
+        fbk = ebk[frow]
+        foff = koff[frow]
+        rows_f = self._freqs2[fbk]
+        rows_c = self._counters2[fbk]
+        alpha, beta = self._alpha, self._beta
+        # argmin returns the first minimum — the same tie-breaking as the
+        # scalar strict-< scan; float64 scoring matches the scalar
+        # arithmetic bit for bit.
+        jmin = (alpha * rows_f + beta * rows_c).argmin(axis=1)
+        slot = fbk * d + jmin
+        if self._policy == "space-saving":
+            if metered:
+                self._m_evictions.inc(len(slot))
+            freqs[slot] += 1
+            flags[slot] = set_bit
+            kcol[slot] = arr[start + foff]
+            changed[frow] = True
+            for s, k in zip(slot.tolist(), foff.tolist()):
+                item = seq[start + k]
+                old = keys[s]
+                if old is not None:
+                    del slot_of[old]
+                keys[s] = item
+                slot_of[item] = s
+            if listener is not None:
+                listener.cells_touched(slot.tolist())
+            return changed
+        if metered:
+            self._m_decrements.inc(len(slot))
+        hb = self._harvest_bit
+        fj = freqs[slot]
+        cj = counters[slot]
+        has_c = cj > 0
+        counters[slot[has_c]] = cj[has_c] - 1
+        pend = ~has_c & (fj > 0)
+        if pend.any():
+            pslot = slot[pend]
+            pbits = flags[pslot]
+            covered = ((pbits & 1) + ((pbits >> 1) & 1)) >= fj[pend]
+            hclear = covered & ((pbits & hb) != 0)
+            sclear = covered & ~hclear
+            nbits = pbits.copy()
+            nbits[hclear] &= ~hb & 0xFF
+            nbits[sclear] &= ~set_bit & 0xFF
+            flags[pslot] = nbits
+        fpos = fj > 0
+        freqs[slot[fpos]] = fj[fpos] - 1
+        dead = ~(alpha * freqs[slot] + beta * counters[slot] > 0)
+        if listener is not None:
+            listener.cells_touched(slot.tolist())
+        if not dead.any():
+            return changed
+        drow = np.flatnonzero(dead)
+        dslot = slot[drow]
+        doff = foff[drow]
+        if metered:
+            self._m_evictions.inc(len(drow))
+        if self._ltr and d > 1:
+            if metered:
+                self._m_longtail.inc(len(drow))
+            # Second-smallest per row with the evicted cell masked out;
+            # only that cell changed since the gather, and it is excluded,
+            # so the pre-decrement rows are exact for the rest.
+            sub = np.arange(len(drow))
+            jm = jmin[drow]
+            masked_f = rows_f[drow].copy()
+            masked_c = rows_c[drow].copy()
+            masked_f[sub, jm] = _INT64_MAX
+            masked_c[sub, jm] = _INT64_MAX
+            f0 = np.maximum(masked_f.min(axis=1) - 1, 1)
+            c0 = np.minimum(np.maximum(masked_c.min(axis=1) - 1, 0), f0 - 1)
+        else:
+            f0 = np.ones(len(drow), dtype=np.int64)
+            c0 = np.zeros(len(drow), dtype=np.int64)
+        freqs[dslot] = f0
+        counters[dslot] = c0
+        flags[dslot] = set_bit
+        kcol[dslot] = arr[start + doff]
+        changed[frow[drow]] = True
+        for s, k in zip(dslot.tolist(), doff.tolist()):
+            item = seq[start + k]
+            old = keys[s]
+            if old is not None:
+                del slot_of[old]
+            keys[s] = item
+            slot_of[item] = s
+        return changed
+
+    def _sweep_slots(self, slots: Any) -> None:
+        """Apply the CLOCK sweep to an explicit (duplicate-free) slot set.
+
+        The harvest itself, without pointer arithmetic — the segmented
+        replay schedules sweeps itself and finalises the CLOCK in closed
+        form.  A set harvest-flag implies an occupied cell (flags are only
+        ever set by hits/claims), matching ``_harvest_segments``.
+        """
+        if len(slots) == 0:
+            return
+        flags = self._flags
+        bits = flags[slots]
+        hm = (bits & self._harvest_bit) != 0
+        if not hm.any():
+            return
+        hs = slots[hm]
+        self._counters[hs] += 1
+        flags[hs] = bits[hm] & (~self._harvest_bit & 0xFF)
+        if self._obs is not None:
+            self._m_harvests.inc(int(hm.sum()))
+        if self._cell_listener is not None:
+            self._cell_listener.cells_touched(hs.tolist())
 
     # ----------------------------------------------------------- harvesting
     def _advance_and_harvest(self, count: int) -> None:

@@ -1,0 +1,243 @@
+"""AutoLTC (``kernel="auto"``): probe, hysteresis, and differentials.
+
+AutoLTC must be behaviourally indistinguishable from the other kernels
+— same cells, CLOCK phase, parity, estimates — while privately deciding
+whether batches ingest through the columnar chunk machinery or the
+scalar fast path.  The selection logic is deterministic (probe counts
+only, never timing), so these tests drive it with crafted workloads:
+hot-key streams keep it columnar, all-distinct eviction storms flip it
+to fast, and a recheck period brings it back when the regime relaxes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import columnar
+from repro.core.auto import AutoLTC
+from repro.core.config import LTCConfig
+from repro.core.fast_ltc import FastLTC
+from repro.core.kernels import KERNELS, build_ltc
+from tests.conftest import make_stream
+from tests.test_columnar import assert_identical
+
+pytestmark = pytest.mark.skipif(
+    columnar._np is None, reason="numpy unavailable"
+)
+
+
+def make_config(**overrides):
+    defaults = dict(
+        num_buckets=2, bucket_width=4, alpha=1.0, beta=1.0,
+        items_per_period=256,
+    )
+    defaults.update(overrides)
+    return LTCConfig(**defaults)
+
+
+def miss_batches(count, size, start=0):
+    """``count`` batches of ``size`` all-distinct keys: pure miss storm."""
+    key = start
+    out = []
+    for _ in range(count):
+        batch = list(range(key, key + size))
+        key += size
+        out.append(batch)
+    return out
+
+
+def hot_batches(count, size):
+    """``count`` batches cycling 4 hot keys: all hits after warm-up."""
+    pattern = [1, 2, 3, 4]
+    return [[pattern[i % 4] for i in range(size)] for _ in range(count)]
+
+
+class TestSelection:
+    def test_starts_columnar(self):
+        ltc = AutoLTC(make_config())
+        assert ltc.kernel_in_use == "columnar"
+        assert ltc._auto_mode == "columnar"
+
+    def test_miss_storm_flips_to_fast(self):
+        """All-distinct keys over a saturated 8-cell table: once the
+        table is full every window votes fast, and after HYSTERESIS
+        windows the switch lands at the next period boundary."""
+        ltc = AutoLTC(make_config())
+        for batch in miss_batches(
+            AutoLTC.PROBE_CHUNKS * (AutoLTC.HYSTERESIS + 2), 64
+        ):
+            ltc.insert_many(batch)
+        assert ltc._auto_pending == "fast"
+        assert ltc.kernel_in_use == "columnar"  # not yet — mid-period
+        ltc.end_period()
+        assert ltc._auto_mode == "fast"
+        assert ltc.kernel_in_use == "fast"
+
+    def test_hot_keys_stay_columnar(self):
+        ltc = AutoLTC(make_config())
+        for batch in hot_batches(AutoLTC.PROBE_CHUNKS * 4, 64):
+            ltc.insert_many(batch)
+        ltc.end_period()
+        assert ltc._auto_mode == "columnar"
+        assert ltc._auto_pending is None
+
+    def test_fill_phase_does_not_vote(self):
+        """While the table is claiming empty cells the stream looks
+        miss-heavy by construction; those windows are suppressed."""
+        ltc = AutoLTC(make_config(num_buckets=64, bucket_width=8))
+        # 512 cells, one window of 4 x 64 distinct keys: all claims.
+        for batch in miss_batches(AutoLTC.PROBE_CHUNKS, 64):
+            ltc.insert_many(batch)
+        assert ltc._auto_votes == 0
+        assert ltc._auto_pending is None
+
+    def test_hysteresis_absorbs_single_burst(self):
+        """One miss-heavy window between hot windows must not flip."""
+        ltc = AutoLTC(make_config())
+        hot = hot_batches(AutoLTC.PROBE_CHUNKS, 64)
+        for batch in hot + miss_batches(AutoLTC.PROBE_CHUNKS, 64) + hot:
+            ltc.insert_many(batch)
+        ltc.end_period()
+        assert ltc._auto_mode == "columnar"
+        assert ltc._auto_pending is None
+
+    def test_never_switches_mid_period(self):
+        ltc = AutoLTC(make_config())
+        for batch in miss_batches(AutoLTC.PROBE_CHUNKS * 8, 64):
+            ltc.insert_many(batch)
+            assert ltc._auto_mode == "columnar"
+        assert ltc._auto_pending == "fast"
+        ltc.end_period()
+        assert ltc._auto_mode == "fast"
+
+    def test_recheck_period_flips_back(self):
+        """In fast mode one period in RECHECK_PERIODS re-probes through
+        the columnar path; a relaxed regime is picked up there."""
+        ltc = AutoLTC(make_config())
+        for batch in miss_batches(AutoLTC.PROBE_CHUNKS * 4, 64):
+            ltc.insert_many(batch)
+        ltc.end_period()
+        assert ltc._auto_mode == "fast"
+        # Idle periods until the next recheck boundary.
+        while not ltc._auto_recheck:
+            for batch in hot_batches(2, 64):
+                ltc.insert_many(batch)
+            ltc.end_period()
+        assert ltc.kernel_in_use == "columnar"  # probing this period
+        for batch in hot_batches(
+            AutoLTC.PROBE_CHUNKS * (AutoLTC.HYSTERESIS + 1), 64
+        ):
+            ltc.insert_many(batch)
+        ltc.end_period()
+        assert ltc._auto_mode == "columnar"
+
+    def test_clear_resets_to_columnar(self):
+        ltc = AutoLTC(make_config())
+        for batch in miss_batches(AutoLTC.PROBE_CHUNKS * 4, 64):
+            ltc.insert_many(batch)
+        ltc.end_period()
+        assert ltc._auto_mode == "fast"
+        ltc.clear()
+        assert ltc._auto_mode == "columnar"
+        assert ltc._auto_events == 0
+        assert ltc.kernel_in_use == "columnar"
+
+
+class TestDifferential:
+    @given(
+        st.lists(st.integers(0, 30), max_size=400),
+        st.integers(1, 6),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_identical_to_fast_ltc(self, events, periods, ltr):
+        periods = max(1, min(periods, len(events)))
+        config = make_config(
+            items_per_period=max(1, len(events) // periods),
+            longtail_replacement=ltr,
+        )
+        fast, auto = FastLTC(config), AutoLTC(config)
+        if events:
+            stream = make_stream(events, num_periods=periods)
+            stream.run(fast, batched=True)
+            stream.run(auto, batched=True)
+        assert_identical(fast, auto)
+
+    def test_identical_across_mode_flips(self):
+        """A miss-heavy prefix (drives fast mode) followed by a hot tail
+        (drives the recheck back to columnar): state stays identical to
+        FastLTC through both switches."""
+        config = make_config(items_per_period=512)
+        fast, auto = FastLTC(config), AutoLTC(config)
+        rng = random.Random(13)
+        modes_seen = set()
+        for period in range(2 * AutoLTC.RECHECK_PERIODS):
+            miss_heavy = period < AutoLTC.RECHECK_PERIODS
+            for _ in range(AutoLTC.PROBE_CHUNKS * 2):
+                if miss_heavy:
+                    batch = [rng.randrange(1 << 30) for _ in range(64)]
+                else:
+                    batch = [rng.randrange(4) for _ in range(64)]
+                fast.insert_many(batch)
+                auto.insert_many(batch)
+                assert_identical(fast, auto)
+            fast.end_period()
+            auto.end_period()
+            modes_seen.add(auto._auto_mode)
+            assert_identical(fast, auto)
+        assert modes_seen == {"columnar", "fast"}
+        assert auto._auto_mode == "columnar"
+
+    def test_per_event_insert_identical(self):
+        config = make_config()
+        fast, auto = FastLTC(config), AutoLTC(config)
+        rng = random.Random(7)
+        for _ in range(2_000):
+            item = rng.randrange(500)
+            fast.insert(item)
+            auto.insert(item)
+        assert_identical(fast, auto)
+
+    def test_oversized_key_falls_back_in_fast_mode(self):
+        """Vectorization loss mid-stream must not break fast mode."""
+        config = make_config()
+        fast, auto = FastLTC(config), AutoLTC(config)
+        for batch in miss_batches(AutoLTC.PROBE_CHUNKS * 4, 64):
+            fast.insert_many(batch)
+            auto.insert_many(batch)
+        fast.end_period()
+        auto.end_period()
+        assert auto._auto_mode == "fast"
+        poisoned = [1, 1 << 70, 2, 3, 1 << 90, 4]
+        fast.insert_many(poisoned)
+        auto.insert_many(poisoned)
+        assert not auto._vec
+        assert_identical(fast, auto)
+        fast.insert_many([5, 6, 5])
+        auto.insert_many([5, 6, 5])
+        assert_identical(fast, auto)
+
+
+class TestRegistration:
+    def test_config_accepts_auto(self):
+        config = make_config(kernel="auto")
+        assert config.kernel == "auto"
+        assert type(build_ltc(config)) is AutoLTC
+
+    def test_registered_in_kernels(self):
+        assert KERNELS["auto"] is AutoLTC
+
+    @pytest.mark.parametrize("command", ["compare", "serve"])
+    def test_cli_accepts_auto(self, capsys, command):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main([command, "--help"])
+        assert exc.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "--kernel" in help_text
+        assert "auto" in help_text

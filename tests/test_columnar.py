@@ -25,6 +25,7 @@ from repro.core.kernels import KERNELS, build_ltc
 from repro.core.ltc import LTC
 from repro.core.merge import merge
 from repro.core.serialize import from_bytes, to_bytes
+from repro.hashing.family import splitmix64
 from tests.conftest import make_stream
 
 pytestmark = pytest.mark.skipif(
@@ -198,6 +199,97 @@ class TestEquivalence:
         for cv in col.cells():
             assert type(cv.frequency) is int
             assert type(cv.persistency) is int
+
+
+def colliding_keys(ltc, bucket: int, count: int) -> "list[int]":
+    """``count`` distinct keys that all map to ``bucket`` of ``ltc``."""
+    keys = []
+    candidate = 0
+    while len(keys) < count:
+        if splitmix64(candidate ^ ltc._seed) % ltc._w == bucket:
+            keys.append(candidate)
+        candidate += 1
+    return keys
+
+
+class TestAdversarialMissHeavy:
+    """The segmented replay's worst cases: chunks where (almost) every
+    event is a miss, so the peeling kernel does all the work and the
+    clean-hit aggregation none of it."""
+
+    @given(
+        st.integers(20, 400),
+        st.integers(0, 2**32),
+        st.integers(1, 5),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_miss_chunks(self, n, seed, periods, ltr):
+        """All-distinct keys over a tiny table: every chunk is one long
+        dirty tail of claims and evictions."""
+        rng = random.Random(seed)
+        events = rng.sample(range(10 * n), n)
+        slow, fast, col = run_trio(
+            events, periods, num_buckets=2, longtail_replacement=ltr
+        )
+        assert_identical(slow, col)
+        assert_identical(fast, col)
+
+    @pytest.mark.parametrize("policy", ["longtail", "one", "space-saving"])
+    def test_single_bucket_collision_storm(self, policy):
+        """Every event lands in one bucket of a wide table — the peel
+        loop degenerates to a single queue of maximal depth."""
+        config = LTCConfig(
+            num_buckets=8, bucket_width=4, alpha=1.0, beta=1.0,
+            items_per_period=500, replacement_policy=policy,
+        )
+        fast, col = FastLTC(config), ColumnarLTC(config)
+        probe = ColumnarLTC(config)
+        keys = colliding_keys(probe, bucket=3, count=24)
+        rng = random.Random(17)
+        events = [rng.choice(keys) for _ in range(5_000)]
+        stream = make_stream(events, num_periods=10)
+        stream.run(fast, batched=True)
+        stream.run(col, batched=True)
+        assert_identical(fast, col)
+        assert {cv.bucket for cv in col.cells() if not cv.empty} == {3}
+
+    @given(
+        st.lists(st.integers(0, 60), min_size=1, max_size=200),
+        st.integers(0, 200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_oversized_key_mid_chunk(self, events, position):
+        """A key outside uint64 arriving mid-chunk drops the rest of the
+        stream to the scalar path without losing a single event."""
+        position = min(position, len(events))
+        poisoned = events[:position] + [1 << 70] + events[position:]
+        config = LTCConfig(
+            num_buckets=2, bucket_width=4, alpha=1.0, beta=1.0,
+            items_per_period=50,
+        )
+        fast, col = FastLTC(config), ColumnarLTC(config)
+        fast.insert_many(poisoned)
+        col.insert_many(poisoned)
+        assert not col._vec
+        assert_identical(fast, col)
+        # The instance stays consistent for later (vector-eligible) batches.
+        fast.insert_many(events)
+        col.insert_many(events)
+        fast.end_period()
+        col.end_period()
+        assert_identical(fast, col)
+
+    def test_eviction_storm_against_reference(self):
+        """Distinct keys cycling through a saturated table churn every
+        cell repeatedly; pin against the reference LTC too."""
+        rng = random.Random(31)
+        events = [rng.randrange(100_000) for _ in range(3_000)]
+        slow, fast, col = run_trio(
+            events, 6, num_buckets=4, replacement_policy="space-saving"
+        )
+        assert_identical(slow, col)
+        assert_identical(fast, col)
 
 
 class TestFallbacks:

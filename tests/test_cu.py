@@ -1,4 +1,12 @@
-"""CU sketch: conservative update dominates Count-Min."""
+"""CU sketch: conservative update dominates Count-Min.
+
+The batch paths (``update_many`` / ``update_and_query_many``) run the
+sort-and-segment fixpoint kernel from ``_vectorized.py``; every test in
+:class:`TestBatchKernel` pins them table-for-table (and answer-for-
+answer) against a per-event replay, including the regimes the kernel
+finds hardest: duplicate-heavy batches, width-1 total collision,
+``counts=`` folding, and the forced non-convergence bail-out.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.sketches import cu as cu_module
 from repro.sketches.count_min import CountMinSketch
 from repro.sketches.cu import CUSketch
 
@@ -62,3 +71,170 @@ class TestBehaviour:
         sketch = CUSketch(width=64)
         sketch.update(1, delta=5)
         assert sketch.query(1) == 5
+
+
+def replay_pair(width=8, rows=2, seed=5):
+    """Two identically-hashed sketches: one for the batch path, one for
+    the per-event reference replay."""
+    return (
+        CUSketch(width=width, rows=rows, seed=seed),
+        CUSketch(width=width, rows=rows, seed=seed),
+    )
+
+
+def assert_tables_equal(batched: CUSketch, scalar: CUSketch) -> None:
+    assert [list(t) for t in batched._tables] == [
+        list(t) for t in scalar._tables
+    ]
+
+
+class TestBatchKernel:
+    @given(
+        st.lists(st.integers(0, 6), min_size=1, max_size=300),
+        st.integers(1, 3),
+        st.integers(2, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_duplicate_heavy_batches_replay_identical(
+        self, keys, rows, width
+    ):
+        """A 7-key universe over a tiny table maximises both same-key
+        chains and cross-key collisions."""
+        batched, scalar = replay_pair(width=width, rows=rows)
+        batched.update_many(keys)
+        for key in keys:
+            scalar.update(key)
+        assert_tables_equal(batched, scalar)
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_width_one_total_collision(self, keys):
+        """Width 1: every event chains on every other."""
+        batched, scalar = replay_pair(width=1, rows=2)
+        batched.update_many(keys)
+        for key in keys:
+            scalar.update(key)
+        assert_tables_equal(batched, scalar)
+
+    @given(
+        st.lists(st.integers(0, 6), min_size=1, max_size=100),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_update_and_query_many_answers(self, keys, data):
+        counts = data.draw(
+            st.one_of(
+                st.none(),
+                st.lists(
+                    st.integers(0, 5),
+                    min_size=len(keys),
+                    max_size=len(keys),
+                ),
+            )
+        )
+        batched, scalar = replay_pair()
+        got = batched.update_and_query_many(keys, counts=counts)
+        expected = []
+        folded = (
+            zip(keys, [1] * len(keys)) if counts is None else zip(keys, counts)
+        )
+        for key, count in folded:
+            if count:
+                expected.append(scalar.update_and_query(key, count))
+            else:
+                expected.append(scalar.query(key))
+        assert got == expected
+        assert_tables_equal(batched, scalar)
+
+    def test_chunk_boundary_replay_identical(self):
+        """Batches larger than the kernel chunk commit chunk by chunk;
+        the sequencing across the boundary must stay exact."""
+        import random
+
+        rng = random.Random(23)
+        keys = [rng.randrange(9) for _ in range(2 * cu_module._CHUNK + 123)]
+        batched, scalar = replay_pair(width=8, rows=2)
+        answers = batched.update_and_query_many(keys)
+        expected = [scalar.update_and_query(key) for key in keys]
+        assert answers == expected
+        assert_tables_equal(batched, scalar)
+
+    def test_counts_matches_expansion(self):
+        batched, scalar = replay_pair()
+        batched.update_many([3, 5, 3, 7], counts=[4, 0, 2, 1])
+        for key, count in [(3, 4), (5, 0), (3, 2), (7, 1)]:
+            for _ in range(count):
+                scalar.update(key)
+        assert_tables_equal(batched, scalar)
+
+    def test_counts_with_delta(self):
+        batched, scalar = replay_pair()
+        batched.update_many([1, 2, 1], delta=3, counts=[2, 1, 2])
+        for key, count in [(1, 2), (2, 1), (1, 2)]:
+            for _ in range(count):
+                scalar.update(key, 3)
+        assert_tables_equal(batched, scalar)
+
+    def test_negative_counts_rejected(self):
+        sketch = CUSketch(width=8)
+        with pytest.raises(ValueError):
+            sketch.update_many([1, 2], counts=[1, -1])
+        with pytest.raises(ValueError):
+            sketch.update_and_query_many([1, 2], counts=[1, -1])
+
+    def test_counts_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CUSketch(width=8).update_many([1, 2, 3], counts=[1, 2])
+
+    def test_batch_rejects_negative_delta(self):
+        sketch = CUSketch(width=8)
+        with pytest.raises(ValueError):
+            sketch.update_many([1], delta=-1)
+        with pytest.raises(ValueError):
+            sketch.update_and_query_many([1], delta=-1)
+
+    def test_zero_delta_batch_is_query_only(self):
+        sketch = CUSketch(width=8)
+        sketch.update_many([1, 1, 2])
+        before = [list(t) for t in sketch._tables]
+        sketch.update_many([1, 2, 3], delta=0)
+        answers = sketch.update_and_query_many([1, 2, 3], delta=0)
+        assert answers == [sketch.query(k) for k in [1, 2, 3]]
+        assert [list(t) for t in sketch._tables] == before
+
+    def test_empty_batch(self):
+        sketch = CUSketch(width=8)
+        sketch.update_many([])
+        assert sketch.update_and_query_many([]) == []
+
+    def test_numpy_absent_fallback_with_counts(self, monkeypatch):
+        monkeypatch.setattr(cu_module, "numpy_available", lambda: False)
+        batched, scalar = replay_pair()
+        batched.update_many([3, 5, 3], counts=[2, 0, 1])
+        answers = batched.update_and_query_many([3, 9], counts=[1, 0])
+        for key, count in [(3, 2), (5, 0), (3, 1)]:
+            if count:
+                scalar.update(key, count)
+        expected = [scalar.update_and_query(3), scalar.query(9)]
+        assert answers == expected
+        assert_tables_equal(batched, scalar)
+
+    def test_nonconvergence_falls_back_to_scalar(self, monkeypatch):
+        """With the pass budget forced to zero the kernel must return
+        None without touching the tables; the scalar replay then
+        produces the exact sequential result anyway."""
+        monkeypatch.setattr(cu_module, "_MAX_PASSES", 0)
+        batched, scalar = replay_pair(width=4, rows=2)
+        keys = [1, 2, 3, 1, 2, 3, 1, 2, 3, 4, 4, 4]
+        assert batched._batch_targets(
+            cu_module.as_key_array(keys),
+            cu_module._np.ones(len(keys), dtype=cu_module._np.int64),
+        ) is None
+        assert all(not any(t) for t in batched._tables)
+        batched.update_many(keys)
+        answers = batched.update_and_query_many(keys)
+        for key in keys:
+            scalar.update(key)
+        expected = [scalar.update_and_query(key) for key in keys]
+        assert answers == expected
+        assert_tables_equal(batched, scalar)
