@@ -118,6 +118,7 @@ class ColumnarLTC(FastLTC):
             self._columnize()
 
     # ------------------------------------------------------------- columns
+    # reprolint: detached — rebinds columns to numpy storage with identical values
     def _columnize(self) -> None:
         """Adopt numpy column storage for the row arrays and build the
         fingerprint/occupancy mirror of the key list."""
@@ -155,6 +156,7 @@ class ColumnarLTC(FastLTC):
                     self._disable_vectorization()
                     return
 
+    # reprolint: detached — drops view aliases only; the backing cell arrays are untouched
     def _disable_vectorization(self) -> None:
         # A key outside the uint64 domain cannot live in the fingerprint
         # column (and masking it would alias another key), so the instance
@@ -953,6 +955,12 @@ class ColumnarLTC(FastLTC):
                 del slot_of[old]
             keys[s] = item
             slot_of[item] = s
+        # The cells_touched above fired before the eviction writes; the
+        # hooks contract requires the listener to see the post-eviction
+        # state (key replacement included), so touch the evicted slots
+        # again now that their columns are final.
+        if listener is not None:
+            listener.cells_touched(dslot.tolist())
         return changed
 
     def _sweep_slots(self, slots: Any) -> None:

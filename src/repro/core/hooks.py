@@ -34,6 +34,38 @@ from __future__ import annotations
 
 from typing import Iterable, Protocol
 
+# --------------------------------------------------------------------------
+# Machine-readable mutation-site inventory.
+#
+# reprolint's R006 (hook discipline) parses these tuples statically and
+# verifies that every write to a cell-state attribute inside a hooked
+# kernel is post-dominated by a listener notification (or carries an
+# explicit ``# reprolint: detached`` waiver).  Keep them in sync with the
+# kernels: adding a cell-state column without listing it here silently
+# exempts it from the check; listing a derived attribute (``_slot_of``,
+# ``_occ``, ``_kcol``, flag bytes) would demand notifications for writes
+# the serving index never observes.
+
+#: Classes whose cells a :class:`CellListener` may observe.  Subclasses
+#: of these (e.g. :class:`repro.core.auto.AutoLTC`) inherit the contract.
+HOOKED_STRUCTURES = ("LTC", "FastLTC", "ColumnarLTC")
+
+#: Attributes holding observable cell state: the key column and the
+#: frequency/persistency counters, including the columnar kernel's numpy
+#: rebinds and memoryview/2-D aliases of the same storage.
+CELL_STATE_ATTRS = (
+    "_keys",
+    "_freqs",
+    "_counters",
+    "_freq_mv",
+    "_counter_mv",
+    "_freqs2",
+    "_counters2",
+)
+
+#: The notification surface of :class:`CellListener`.
+NOTIFY_METHODS = ("cell_touched", "cells_touched", "cells_reset")
+
 
 class CellListener(Protocol):
     """What an attached cell-mutation observer must implement."""

@@ -28,6 +28,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.core.ltc import LTC
 
 
+# reprolint: detached — fills a freshly constructed, unobserved LTC; listeners attach only after the merge result is returned
 def merge(
     summaries: Sequence[LTC],
     num_periods: Optional[int] = None,

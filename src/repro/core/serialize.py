@@ -105,6 +105,7 @@ def to_state(ltc: LTC) -> Dict[str, Any]:
     }
 
 
+# reprolint: detached — restores a freshly built structure before any listener attaches; the hooks contract says attach does not replay history
 def from_state(state: Dict[str, Any], cls: Type[LTC] = LTC) -> LTC:
     """Rebuild an LTC (or subclass ``cls``) from :func:`to_state` output.
 
@@ -185,6 +186,7 @@ def to_bytes(ltc: LTC) -> bytes:
     return header + bytes(cells)
 
 
+# reprolint: detached — restores a freshly built structure before any listener attaches; the hooks contract says attach does not replay history
 def from_bytes(blob: bytes, cls: Type[LTC] = LTC) -> LTC:
     """Restore an LTC (or subclass ``cls``) from :func:`to_bytes` output.
 

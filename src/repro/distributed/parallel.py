@@ -638,18 +638,7 @@ class ParallelMergingCoordinator:
                 "Shard ingestions replayed into a respawned worker",
             )
 
-        workers = [
-            _ShardWorker(
-                worker_id,
-                [
-                    (shard, configs[shard])
-                    for shard in range(worker_id, len(sites), num_workers)
-                ],
-                ctx,
-                ShmRing(self.ring_slots, slot_items) if use_shm else None,
-            )
-            for worker_id in range(num_workers)
-        ]
+        workers: List[_ShardWorker] = []
 
         def crash_spec(worker: _ShardWorker) -> Dict[int, int]:
             return {
@@ -709,6 +698,24 @@ class ParallelMergingCoordinator:
         self._worker_crashes = 0
         payloads: Dict[int, bytes] = {}
         try:
+            # Rings are created inside the try so a failure partway
+            # through construction still unlinks the earlier segments.
+            for worker_id in range(num_workers):
+                workers.append(
+                    _ShardWorker(
+                        worker_id,
+                        [
+                            (shard, configs[shard])
+                            for shard in range(
+                                worker_id, len(sites), num_workers
+                            )
+                        ],
+                        ctx,
+                        ShmRing(self.ring_slots, slot_items)
+                        if use_shm
+                        else None,
+                    )
+                )
             for worker in workers:
                 worker.spawn(crash_spec(worker))
             for period in range(max(len(site) for site in slices)):

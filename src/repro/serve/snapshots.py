@@ -59,6 +59,7 @@ class SnapshotStore:
                 continue
         return seq + 1
 
+    # reprolint: blocking-ok — the synchronous write+fsync+rename IS the durability barrier; bounded by snapshot size and serialized by the ingest loop
     def save(self, ltc: LTC) -> Path:
         """Checkpoint ``ltc`` atomically and prune beyond ``retain``."""
         final = self.directory / f"{_PREFIX}{self._next_seq():09d}{_SUFFIX}"

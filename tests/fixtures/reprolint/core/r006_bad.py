@@ -1,0 +1,63 @@
+"""Seeded R006 violations: cell-state mutations that skip the listener.
+
+``LTC`` is in the default hooked inventory, and this file sits under a
+``core/`` directory, so every write to a cell-state attribute must be
+post-dominated by a CellListener notification (or sit in a detached
+region / carry a justified waiver).
+"""
+
+
+class LTC:
+    def __init__(self):
+        self._keys = []
+        self._freqs = []
+        self._counters = []
+        self._cell_listener = None
+
+    def evict(self, j, item):
+        self._keys[j] = item
+        self._freqs[j] = 1
+
+    def insert(self, item, j):
+        self._freqs[j] += 1
+        listener = self._cell_listener
+        if listener is not None:
+            listener.cell_touched(j)
+
+    def update(self, j, fast):
+        self._counters[j] = 0
+        if fast:
+            listener = self._cell_listener
+            if listener is not None:
+                listener.cell_touched(j)
+
+    def reset(self):
+        listener = self._cell_listener
+        if listener is None:
+            self._freqs = []
+            return
+        self._freqs = []
+        listener.cells_reset()
+
+    def delegate(self, item, j):
+        self.insert(item, j)
+        self._counters[j] += 1
+        self.insert(item, j)
+
+    # reprolint: detached — fixture control: rebind before any listener exists
+    def rebuild(self):
+        self._keys = []
+
+    # reprolint: detached
+    def bare_waiver(self):
+        self._counters = []
+
+
+def restore(ltc, cells):
+    for j, cell in enumerate(cells):
+        ltc._freqs[j] = cell
+
+
+# reprolint: detached — fixture control: restores before a listener attaches
+def restore_waived(ltc, cells):
+    ltc._keys = list(cells)

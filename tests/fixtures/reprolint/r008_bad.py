@@ -1,0 +1,56 @@
+"""Seeded R008 violations: shm segments leaked on exception paths.
+
+Creations must be released on every CFG path — exception edges
+included — or have ownership transferred safely; attach-side handles
+must never unlink.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak_on_exception(nbytes):
+    seg = SharedMemory(create=True, size=nbytes)
+    fill(seg)
+    seg.close()
+    seg.unlink()
+
+
+def clean_finally(nbytes):
+    seg = SharedMemory(create=True, size=nbytes)
+    try:
+        fill(seg)
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def attach_then_unlink(name):
+    seg = SharedMemory(name=name)
+    try:
+        return bytes(seg.buf)
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def transfer_outside_try(nbytes):
+    ring = ShmRing(8, nbytes)
+    register(ring)
+
+
+def transfer_inside_try(registry, nbytes):
+    try:
+        registry.append(ShmRing(8, nbytes))
+    finally:
+        drain(registry)
+
+
+def returned_to_caller(nbytes):
+    ring = ShmRing(8, nbytes)
+    return ring
+
+
+# reprolint: shm-owner — fixture control: the harness releases it
+def waived_creation(nbytes):
+    seg = SharedMemory(create=True, size=nbytes)
+    publish(seg)

@@ -1,0 +1,63 @@
+"""Seeded R009 violation: the batched path skips state ``insert`` touches.
+
+``SkewedKernel.insert_many`` never writes ``_total``; the per-event and
+batched ingestion paths have diverged.  ``PairedKernel`` (delegates) and
+``VectorKernel`` (mirrors every attribute, one via a may-write) are the
+silent controls.
+"""
+
+
+class SkewedKernel:
+    def __init__(self):
+        self._freqs = [0] * 8
+        self._total = 0
+
+    def insert(self, item):
+        self._freqs[item % 8] += 1
+        self._total += 1
+
+    def insert_many(self, items):
+        for item in items:
+            self._freqs[item % 8] += 1
+
+
+class PairedKernel:
+    def __init__(self):
+        self._freqs = [0] * 8
+        self._total = 0
+
+    def insert(self, item):
+        self._freqs[item % 8] += 1
+        self._total += 1
+
+    def insert_many(self, items):
+        for item in items:
+            self.insert(item)
+
+
+class VectorKernel:
+    def __init__(self):
+        self._freqs = [0] * 8
+        self._hot = []
+
+    def insert(self, item):
+        self._freqs[item % 8] += 1
+        self._hot = self._hot + [item]
+
+    def insert_many(self, items):
+        for item in items:
+            self._freqs[item % 8] += 1
+        self._hot.extend(items)
+
+
+class WaivedKernel:
+    def __init__(self):
+        self._total = 0
+        self._count = 0
+
+    def insert(self, item):
+        self._total += 1
+
+    # reprolint: parity-ok — fixture control: the batch path recomputes totals elsewhere
+    def insert_many(self, items):
+        self._count = len(items)

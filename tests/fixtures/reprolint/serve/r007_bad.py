@@ -1,0 +1,44 @@
+"""Seeded R007 violations: blocking calls reachable from serve coroutines.
+
+The directory name (``serve/``) puts every ``async def`` here in the
+rule's entry set; the blocking primitives are reached both directly and
+through the call graph (including an attribute-typed queue receiver).
+"""
+
+import queue
+import subprocess
+import time
+
+
+def _load_config(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+async def handle_request(path):
+    time.sleep(0.1)
+    return _load_config(path)
+
+
+async def run_job(cmd):
+    subprocess.run(cmd)
+
+
+class Drainer:
+    def __init__(self, q: queue.Queue):
+        self._q = q
+
+    async def drain(self):
+        return self._q.get()
+
+    async def poll(self):
+        return self._q.get(timeout=0.01)
+
+
+async def save_state(path, data):
+    with open(path, "w") as fh:  # reprolint: blocking-ok — fixture control: this write is the durability barrier
+        fh.write(data)
+
+
+async def offloaded(loop, path):
+    return await loop.run_in_executor(None, _load_config, path)

@@ -409,3 +409,73 @@ class TestKernelSelection:
                 num_buckets=2, bucket_width=4, alpha=1.0, beta=1.0,
                 items_per_period=10, kernel="gpu",
             )
+
+
+class SynchronousMirror:
+    """The strictest legal CellListener: it re-reads every touched cell
+    *inside the callback*.  The hooks contract (core/hooks.py) says a
+    notification fires after the mutation in the same call, so at any
+    point the mirror's last reading of a slot must equal the cell's
+    settled state — deferred-repair listeners (ServingIndex) cannot see
+    a notify-before-write ordering bug, this one can."""
+
+    def __init__(self, ltc):
+        self._ltc = ltc
+        self.state = {}
+
+    def cell_touched(self, slot):
+        self.state[slot] = self._ltc.cell_state(slot)
+
+    def cells_touched(self, slots):
+        state, ltc = self.state, self._ltc
+        for slot in slots:
+            state[slot] = ltc.cell_state(slot)
+
+    def cells_reset(self):
+        self.state.clear()
+
+
+class TestHooksContractSynchronousListener:
+    """Regression: the segmented replay's eviction pass used to notify
+    *before* rewriting the evicted cells' columns, so a synchronous
+    listener saw pre-eviction keys it was never told were replaced."""
+
+    def _assert_mirror_settled(self, mirror, ltc):
+        for slot, seen in mirror.state.items():
+            assert seen == ltc.cell_state(slot), f"slot {slot}"
+
+    def test_segmented_eviction_notifies_after_writes(self):
+        # 32 dirty buckets and 128-event batches of near-distinct keys:
+        # every chunk carries a >=64-event dirty tail (the segmented
+        # kernel's entry gate) and the full table forces SD deaths and
+        # evictions through _apply_misses on many buckets at once.
+        config = LTCConfig(
+            num_buckets=32, bucket_width=2, alpha=1.0, beta=1.0,
+            items_per_period=256,
+        )
+        col = ColumnarLTC(config)
+        mirror = SynchronousMirror(col)
+        col.attach_cell_listener(mirror)
+        rng = random.Random(4242)
+        for _ in range(40):
+            col.insert_many([rng.randrange(5000) for _ in range(128)])
+            self._assert_mirror_settled(mirror, col)
+        col.end_period()
+        self._assert_mirror_settled(mirror, col)
+
+    @pytest.mark.parametrize("policy", ["longtail", "one", "space-saving"])
+    def test_mirror_settled_across_policies(self, policy):
+        config = LTCConfig(
+            num_buckets=16, bucket_width=2, alpha=1.0, beta=1.0,
+            items_per_period=128, replacement_policy=policy,
+        )
+        col = ColumnarLTC(config)
+        mirror = SynchronousMirror(col)
+        col.attach_cell_listener(mirror)
+        rng = random.Random(policy)
+        for _ in range(30):
+            col.insert_many([rng.randrange(1200) for _ in range(96)])
+            self._assert_mirror_settled(mirror, col)
+            if rng.random() < 0.2:
+                col.end_period()
+                self._assert_mirror_settled(mirror, col)

@@ -114,6 +114,118 @@ def test_r005_flags_one_sided_constant_reference():
     assert "never reference a shared format-version constant" in diags[0].message
 
 
+# ----------------------------------------------------------------- R006
+def test_r006_flags_unnotified_cell_state_writes():
+    diags = lint_fixture("core/r006_bad.py")
+    r006 = [d for d in diags if d.rule == "R006"]
+    assert lines_of(r006, "R006") == [18, 19, 28, 51, 58]
+    by_line = {d.line: d.message for d in r006}
+    # Both eviction writes, each naming the attribute and the owner.
+    assert "'_keys' in 'LTC.evict'" in by_line[18]
+    assert "'_freqs' in 'LTC.evict'" in by_line[19]
+    assert "post-dominated by a CellListener notification" in by_line[18]
+    # One branch notifying is not every path.
+    assert "'_counters' in 'LTC.update'" in by_line[28]
+    # Module-level restore helpers are in scope too (any receiver).
+    assert "'_freqs' in 'restore'" in by_line[58]
+
+
+def test_r006_bare_waiver_needs_justification():
+    diags = lint_fixture("core/r006_bad.py")
+    bare = [d for d in diags if d.line == 51]
+    assert len(bare) == 1
+    assert "needs a justification" in bare[0].message
+    assert "blanket suppressions are not accepted" in bare[0].message
+
+
+def test_r006_controls_not_flagged():
+    # Guarded notify, detached region, transitive notifier delegation,
+    # and justified waivers all stay silent.
+    diags = lint_fixture("core/r006_bad.py")
+    flagged = lines_of(diags, "R006")
+    for owner in ("LTC.insert", "LTC.reset", "LTC.delegate",
+                  "LTC.rebuild", "restore_waived"):
+        assert not any(f"'{owner}'" in d.message for d in diags), owner
+    assert 38 not in flagged  # write followed by unconditional notify
+
+
+# ----------------------------------------------------------------- R007
+def test_r007_flags_blocking_calls_with_call_chain():
+    diags = lint_fixture("serve/r007_bad.py")
+    assert {d.rule for d in diags} == {"R007"}
+    assert lines_of(diags, "R007") == [14, 19, 24, 32]
+    by_line = {d.line: d.message for d in diags}
+    # Transitive reach is reported with the full route.
+    assert "handle_request -> _load_config" in by_line[14]
+    assert "sync file I/O" in by_line[14]
+    assert "time.sleep()" in by_line[19]
+    assert "subprocess.run()" in by_line[24]
+    # Receiver type resolved through the ctor annotation.
+    assert "unbounded queue.Queue.get()" in by_line[32]
+
+
+def test_r007_controls_not_flagged():
+    diags = lint_fixture("serve/r007_bad.py")
+    messages = " ".join(d.message for d in diags)
+    assert 34 not in lines_of(diags, "R007")  # get(timeout=...) is bounded
+    assert 38 not in lines_of(diags, "R007")  # waived durability barrier
+    assert "save_state" not in messages
+    assert "offloaded" not in messages  # run_in_executor handoff
+
+
+def test_r007_only_applies_to_serve_coroutines():
+    # The same source outside serve/ has no entry points: R007 is scoped.
+    source = (FIXTURES / "serve" / "r007_bad.py").read_text()
+    elsewhere = FIXTURES / "r007_elsewhere_tmp.py"
+    elsewhere.write_text(source)
+    try:
+        assert lint_paths([str(elsewhere)]) == []
+    finally:
+        elsewhere.unlink()
+
+
+# ----------------------------------------------------------------- R008
+def test_r008_flags_leaks_and_attach_side_unlink():
+    diags = lint_fixture("r008_bad.py")
+    assert {d.rule for d in diags} == {"R008"}
+    assert lines_of(diags, "R008") == [12, 33, 37]
+    by_line = {d.line: d.message for d in diags}
+    assert "'leak_on_exception'" in by_line[12]
+    assert "exception edges included" in by_line[12]
+    assert "must not unlink" in by_line[33]
+    assert "'transfer_outside_try'" in by_line[37]
+
+
+def test_r008_controls_not_flagged():
+    # try/finally cleanup, protected transfer, ownership return, and a
+    # justified waiver all stay silent — including the creation that
+    # sits immediately *before* its try/finally.
+    diags = lint_fixture("r008_bad.py")
+    flagged = lines_of(diags, "R008")
+    assert 19 not in flagged  # clean_finally creation
+    assert 42 not in flagged  # transfer_inside_try
+    assert 48 not in flagged  # returned_to_caller
+    assert 54 not in flagged  # waived_creation
+
+
+# ----------------------------------------------------------------- R009
+def test_r009_flags_batched_path_skew():
+    diags = lint_fixture("r009_bad.py")
+    assert [d.rule for d in diags] == ["R009"]
+    assert diags[0].line == 19
+    assert "'SkewedKernel.insert_many' never touches '_total'" in diags[0].message
+    assert "'SkewedKernel.insert' mutates" in diags[0].message
+
+
+def test_r009_controls_not_flagged():
+    # Delegation closure, may-write mirroring, and a justified waiver.
+    diags = lint_fixture("r009_bad.py")
+    messages = " ".join(d.message for d in diags)
+    assert "PairedKernel" not in messages
+    assert "VectorKernel" not in messages
+    assert "WaivedKernel" not in messages
+
+
 # ----------------------------------------------------- driver behaviour
 def test_diagnostic_render_format():
     d = Diagnostic(path="a/b.py", line=3, col=7, rule="R001", message="boom")
@@ -124,7 +236,10 @@ def test_diagnostics_sorted_by_location():
     diags = lint_paths([str(FIXTURES)])
     keys = [(d.path, d.line, d.col, d.rule) for d in diags]
     assert keys == sorted(keys)
-    assert {d.rule for d in diags} == {"R001", "R002", "R003", "R004", "R005"}
+    assert {d.rule for d in diags} == {
+        "R001", "R002", "R003", "R004", "R005",
+        "R006", "R007", "R008", "R009",
+    }
 
 
 def test_rule_filter_restricts_output():
@@ -150,6 +265,67 @@ def test_cli_rules_flag(capsys):
     assert main([str(FIXTURES), "--rules", "R005"]) == 1
     out = capsys.readouterr().out
     assert "R005" in out and "R001" not in out
+
+
+def test_cli_rules_glob_selects_matching_rules(capsys):
+    assert main([str(FIXTURES), "--rules", "R00[89]"]) == 1
+    out = capsys.readouterr().out
+    assert "R008" in out and "R009" in out
+    assert "R001" not in out and "R006" not in out
+
+
+def test_cli_rules_unknown_pattern_is_usage_error(capsys):
+    assert main([str(FIXTURES), "--rules", "R99*"]) == 2
+    out = capsys.readouterr().out
+    assert "matches no known rule" in out
+
+
+def test_cli_json_format(capsys):
+    import json
+
+    assert main([str(FIXTURES / "r009_bad.py"), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "reprolint"
+    assert payload["count"] == 1
+    (entry,) = payload["diagnostics"]
+    assert entry["rule"] == "R009" and entry["line"] == 19
+
+
+def test_cli_sarif_format(tmp_path, capsys):
+    import json
+
+    report = tmp_path / "reprolint.sarif"
+    assert (
+        main(
+            [
+                str(FIXTURES / "r008_bad.py"),
+                "--format",
+                "sarif",
+                "--output",
+                str(report),
+            ]
+        )
+        == 1
+    )
+    assert "violation(s)" in capsys.readouterr().out
+    sarif = json.loads(report.read_text())
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    assert run["tool"]["driver"]["name"] == "reprolint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids) and "R008" in rule_ids
+    assert len(run["results"]) == 3
+    first = run["results"][0]
+    assert first["ruleId"] == "R008"
+    region = first["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 12
+    # SARIF columns are 1-based; Diagnostic columns are 0-based offsets.
+    assert region["startColumn"] == 11
+
+
+def test_self_lint_tools_tree_is_clean():
+    """Satellite: reprolint's own source must pass reprolint."""
+    assert lint_paths([str(REPO_ROOT / "tools")]) == []
 
 
 def test_module_entry_point_runs():

@@ -3,15 +3,22 @@
 Generic linters (ruff, mypy) cannot express the contracts this codebase
 actually lives by: replay-identical batched ingestion, numpy-optional
 fallbacks, the capture-at-construction observability pattern,
-determinism of the core structures, and versioned binary checkpoints.
-``reprolint`` is a small AST pass that machine-checks those contracts.
+determinism of the core structures, versioned binary checkpoints, the
+CellListener hooks contract, event-loop safety in the serving tier, and
+the shm transport's parent-owned segment lifecycle.  ``reprolint`` is a
+two-pass static analysis — a cross-module symbol index and call graph
+(:mod:`tools.reprolint.symbols`), then rule families over per-function
+CFG/dataflow summaries (:mod:`tools.reprolint.cfg`,
+:mod:`tools.reprolint.rules`) — that machine-checks those contracts.
 
 Run it from the repository root::
 
-    python -m tools.reprolint src/repro          # lint the library
-    python -m tools.reprolint path/to/file.py    # lint specific files
+    python -m tools.reprolint src/repro           # lint the library
+    python -m tools.reprolint src/repro tools     # library + tooling
+    python -m tools.reprolint --rules 'R00*'      # glob rule selection
+    python -m tools.reprolint --format sarif --output reprolint.sarif
 
-Rules (see :mod:`tools.reprolint.rules` for the full text):
+Rules (details in each :mod:`tools.reprolint.rules` module):
 
 * **R001** — batched-ingestion pairing: a class defining ``insert_many``
   must have a concrete ``insert`` (own or inherited), and every
@@ -31,6 +38,21 @@ Rules (see :mod:`tools.reprolint.rules` for the full text):
 * **R005** — versioned checkpoints: a module defining both ``to_bytes``
   and ``from_bytes`` must reference a shared module-level format-version
   constant (name containing ``MAGIC``/``VERSION``/``FORMAT``) from both.
+* **R006** — hook discipline: every cell-state mutation in a hooked
+  kernel (inventory in ``core/hooks.py``) is post-dominated by a
+  ``CellListener`` notification on all paths, or carries a
+  ``# reprolint: detached — <why>`` waiver.
+* **R007** — async safety: no blocking calls (``time.sleep``, sync file
+  I/O, ``subprocess``, unbounded ``queue.get``) reachable from serve
+  coroutines through the call graph; waive with
+  ``# reprolint: blocking-ok — <why>``.
+* **R008** — shm lifecycle: segment creations pair with close/unlink on
+  all CFG paths including exception edges; attach-side handles never
+  unlink; waive with ``# reprolint: shm-owner — <why>``.
+* **R009** — kernel parity: a class defining both ``insert`` and
+  ``insert_many``/``update_many`` must touch the same state attributes
+  in both (strict writes vs. strict∪may writes); waive with
+  ``# reprolint: parity-ok — <why>``.
 
 Exit status: 0 when clean, 1 when any diagnostic fired, 2 on usage or
 parse errors.
@@ -38,14 +60,42 @@ parse errors.
 
 from __future__ import annotations
 
-from tools.reprolint.rules import Diagnostic, lint_paths
+from tools.reprolint.diagnostics import Diagnostic
+from tools.reprolint.engine import lint_paths
 
 __all__ = ["Diagnostic", "lint_paths", "main"]
+
+
+def _expand_rule_patterns(spec: str) -> "frozenset[str] | None":
+    """Expand a comma-separated ``--rules`` spec (ids or globs).
+
+    Returns ``None`` for "all rules"; raises ``ValueError`` when a
+    pattern matches no known rule.
+    """
+    import fnmatch
+
+    from tools.reprolint.rules import RULES
+
+    patterns = [p.strip().upper() for p in spec.split(",") if p.strip()]
+    if not patterns:
+        return None
+    selected = set()
+    for pattern in patterns:
+        matched = fnmatch.filter(RULES, pattern)
+        if not matched:
+            raise ValueError(
+                f"--rules pattern {pattern!r} matches no known rule "
+                f"(known: {', '.join(RULES)})"
+            )
+        selected.update(matched)
+    return frozenset(selected)
 
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns the process exit status."""
     import argparse
+
+    from tools.reprolint.formats import RENDERERS
 
     parser = argparse.ArgumentParser(
         prog="python -m tools.reprolint",
@@ -60,19 +110,41 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument(
         "--rules",
         default="",
-        help="Comma-separated rule ids to run (default: all)",
+        help="Comma-separated rule ids or globs, e.g. R003 or 'R00*' "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=sorted(RENDERERS),
+        default="text",
+        help="Output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="Write the report to this file instead of stdout "
+        "(a text summary still goes to stdout)",
     )
     args = parser.parse_args(argv)
-    only = frozenset(r.strip().upper() for r in args.rules.split(",") if r.strip())
     try:
-        diagnostics = lint_paths(args.paths, only=only or None)
+        only = _expand_rule_patterns(args.rules)
+    except ValueError as exc:
+        print(f"reprolint: error: {exc}")
+        return 2
+    try:
+        diagnostics = lint_paths(args.paths, only=only)
     except (OSError, SyntaxError) as exc:
         print(f"reprolint: error: {exc}")
         return 2
-    for diag in diagnostics:
-        print(diag.render())
-    if diagnostics:
-        print(f"reprolint: {len(diagnostics)} violation(s)")
-        return 1
-    print("reprolint: clean")
-    return 0
+    report = RENDERERS[args.fmt](diagnostics)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        if diagnostics:
+            print(f"reprolint: {len(diagnostics)} violation(s)")
+        else:
+            print("reprolint: clean")
+    else:
+        print(report)
+    return 1 if diagnostics else 0

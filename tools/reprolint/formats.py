@@ -1,0 +1,110 @@
+"""Output renderers: text, JSON, and SARIF 2.1.0.
+
+Text is the classic ``path:line:col: RULE message`` stream plus a
+summary line.  JSON is a small stable document for scripting.  SARIF
+feeds GitHub code-scanning upload so CI findings render as inline
+annotations on pull requests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from tools.reprolint.diagnostics import Diagnostic
+from tools.reprolint.rules import SUMMARIES
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    lines: List[str] = [diag.render() for diag in diagnostics]
+    if diagnostics:
+        lines.append(f"reprolint: {len(diagnostics)} violation(s)")
+    else:
+        lines.append("reprolint: clean")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    return json.dumps(
+        {
+            "tool": "reprolint",
+            "count": len(diagnostics),
+            "diagnostics": [
+                {
+                    "path": d.path,
+                    "line": d.line,
+                    "col": d.col,
+                    "rule": d.rule,
+                    "message": d.message,
+                }
+                for d in diagnostics
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    rule_ids = sorted(SUMMARIES)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        {
+            "ruleId": d.rule,
+            "ruleIndex": rule_index.get(d.rule, -1),
+            "level": "error",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": d.line,
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": d.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diagnostics
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": SUMMARIES[rule_id]
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,99 @@
+"""R003 — determinism: no unseeded entropy in the deterministic core.
+
+No unseeded ``random.*`` module calls, ``time.time()`` or
+``os.urandom()`` inside ``core/``, ``sketches/``, ``summaries/`` or
+``membership/`` — replay identity depends on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import List
+
+from tools.reprolint.diagnostics import Diagnostic
+from tools.reprolint.symbols import SymbolIndex
+
+RULE_ID = "R003"
+
+#: Unseeded randomness / wall-clock entropy sources banned by R003.
+BANNED_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "getrandbits",
+        "gauss",
+        "seed",
+    }
+)
+
+#: Directories (path components) where R003 applies: the deterministic
+#: core whose replay identity the differential suites depend on.
+DETERMINISTIC_DIRS = frozenset({"core", "sketches", "summaries", "membership"})
+
+
+def _in_deterministic_dir(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    return any(part in DETERMINISTIC_DIRS for part in parts[:-1])
+
+
+def check_r003(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """Determinism: no unseeded entropy in the deterministic core."""
+    if not _in_deterministic_dir(path):
+        return []
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            func = node.func
+            if not isinstance(func.value, ast.Name):
+                continue
+            mod, attr = func.value.id, func.attr
+            if mod == "random" and attr in BANNED_RANDOM_FUNCS:
+                what = f"random.{attr}()"
+            elif mod == "time" and attr == "time":
+                what = "time.time()"
+            elif mod == "os" and attr == "urandom":
+                what = "os.urandom()"
+            else:
+                continue
+            out.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "R003",
+                    f"{what} breaks replay identity in the deterministic core; "
+                    f"thread a seeded random.Random / explicit timestamp "
+                    f"through the API instead",
+                )
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            banned = [
+                a.name for a in node.names if a.name in BANNED_RANDOM_FUNCS
+            ]
+            if banned:
+                out.append(
+                    Diagnostic(
+                        path,
+                        node.lineno,
+                        node.col_offset,
+                        "R003",
+                        f"importing unseeded {', '.join(banned)} from random "
+                        f"into the deterministic core breaks replay identity",
+                    )
+                )
+    return out
+
+
+def check(index: SymbolIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for path in index.paths:
+        out.extend(check_r003(index.trees[path], path))
+    return out

@@ -1,0 +1,83 @@
+"""R004 — numpy-optional: top-level numpy imports carry a fallback.
+
+A module importing numpy at top level must guard the import with
+``try/except ImportError`` so the pure-Python fallback path stays
+importable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from tools.reprolint.diagnostics import Diagnostic
+from tools.reprolint.symbols import SymbolIndex
+
+RULE_ID = "R004"
+
+
+def _numpy_aliases(node: ast.stmt) -> List[str]:
+    if isinstance(node, ast.Import):
+        return [a.asname or a.name for a in node.names if a.name == "numpy"]
+    if isinstance(node, ast.ImportFrom) and node.module == "numpy":
+        return [a.asname or a.name for a in node.names]
+    return []
+
+
+def _catches_import_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for t in types:
+        name = t.attr if isinstance(t, ast.Attribute) else (
+            t.id if isinstance(t, ast.Name) else ""
+        )
+        if name in ("ImportError", "ModuleNotFoundError", "Exception"):
+            return True
+    return False
+
+
+def check_r004(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """numpy imports at module top level must carry a guarded fallback."""
+    out = []
+    for node in tree.body:
+        if isinstance(node, ast.Try):
+            guarded = any(_catches_import_error(h) for h in node.handlers)
+            if guarded:
+                continue
+            for sub in node.body:
+                for alias in _numpy_aliases(sub):
+                    out.append(
+                        Diagnostic(
+                            path,
+                            sub.lineno,
+                            sub.col_offset,
+                            "R004",
+                            f"numpy import '{alias}' sits in a try block that "
+                            f"never catches ImportError; add the fallback "
+                            f"handler so numpy stays optional",
+                        )
+                    )
+            continue
+        for alias in _numpy_aliases(node):
+            out.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "R004",
+                    f"unguarded top-level numpy import '{alias}'; wrap in "
+                    f"try/except ImportError with a pure-Python fallback "
+                    f"(numpy is an optional dependency)",
+                )
+            )
+    return out
+
+
+def check(index: SymbolIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for path in index.paths:
+        out.extend(check_r004(index.trees[path], path))
+    return out

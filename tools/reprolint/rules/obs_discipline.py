@@ -1,0 +1,131 @@
+"""R002 — observability discipline in ingestion hot paths.
+
+Methods on the hot path (``insert*``, ``evict*``, ``decrement*``,
+``update*``) must use the capture-at-construction registry with a single
+``is None`` guard — never call ``obs.registry()`` / ``obs.is_enabled()``
+or register metrics inline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Set
+
+from tools.reprolint.diagnostics import Diagnostic
+from tools.reprolint.symbols import SymbolIndex
+
+RULE_ID = "R002"
+
+#: Method-name prefixes considered ingestion hot paths (leading
+#: underscores are ignored, so ``_decrement_smallest`` is a hot path).
+HOT_PATH_RE = re.compile(r"^_*(insert|evict|decrement|update)")
+
+
+def _is_obs_none_test(node: ast.Compare) -> bool:
+    """``<expr>._obs is None`` / ``is not None`` (either operand order)."""
+    operands = [node.left, *node.comparators]
+    if len(operands) != 2 or not all(
+        isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+    ):
+        return False
+    has_obs = any(
+        isinstance(op, ast.Attribute) and op.attr == "_obs" for op in operands
+    )
+    has_none = any(
+        isinstance(op, ast.Constant) and op.value is None for op in operands
+    )
+    return has_obs and has_none
+
+
+def check_r002(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """Observability discipline in ingestion hot paths."""
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if not HOT_PATH_RE.match(item.name):
+                continue
+            guards = 0
+            guarded_tests: Set[int] = set()
+            for sub in ast.walk(item):
+                if isinstance(sub, ast.Compare) and _is_obs_none_test(sub):
+                    guards += 1
+                    for op in (sub.left, *sub.comparators):
+                        if isinstance(op, ast.Attribute) and op.attr == "_obs":
+                            guarded_tests.add(id(op))
+                elif isinstance(sub, ast.Call):
+                    func = sub.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == "obs"
+                        and func.attr in ("registry", "is_enabled")
+                    ):
+                        out.append(
+                            Diagnostic(
+                                path,
+                                sub.lineno,
+                                sub.col_offset,
+                                "R002",
+                                f"hot path '{node.name}.{item.name}' calls "
+                                f"obs.{func.attr}(); capture the registry at "
+                                f"construction instead",
+                            )
+                        )
+                    elif isinstance(func, ast.Attribute) and func.attr in (
+                        "counter",
+                        "gauge",
+                        "histogram",
+                    ):
+                        out.append(
+                            Diagnostic(
+                                path,
+                                sub.lineno,
+                                sub.col_offset,
+                                "R002",
+                                f"hot path '{node.name}.{item.name}' registers "
+                                f"a metric ('{func.attr}'); register at "
+                                f"construction and guard with one is-None test",
+                            )
+                        )
+            for sub in ast.walk(item):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr == "_obs"
+                    and id(sub) not in guarded_tests
+                ):
+                    out.append(
+                        Diagnostic(
+                            path,
+                            sub.lineno,
+                            sub.col_offset,
+                            "R002",
+                            f"hot path '{node.name}.{item.name}' uses the "
+                            f"captured registry outside an is-None guard "
+                            f"(store per-metric handles at construction)",
+                        )
+                    )
+            if guards > 1:
+                out.append(
+                    Diagnostic(
+                        path,
+                        item.lineno,
+                        item.col_offset,
+                        "R002",
+                        f"hot path '{node.name}.{item.name}' tests the "
+                        f"captured registry {guards} times; hoist to a single "
+                        f"is-None guard",
+                    )
+                )
+    return out
+
+
+def check(index: SymbolIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for path in index.paths:
+        out.extend(check_r002(index.trees[path], path))
+    return out

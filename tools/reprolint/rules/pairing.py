@@ -1,0 +1,68 @@
+"""R001 — batched-ingestion pairing of ``insert`` / ``insert_many``.
+
+A class defining ``insert_many`` must have a concrete ``insert`` (own or
+inherited), and every ``StreamSummary`` subclass that overrides
+``insert`` must also carry a batched ``insert_many`` override somewhere
+below the base class.  (R009 goes further and compares what the two
+paths actually mutate.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from tools.reprolint.diagnostics import Diagnostic
+from tools.reprolint.symbols import ClassIndex, ClassInfo, SymbolIndex
+
+RULE_ID = "R001"
+
+
+def check_r001(
+    index: ClassIndex, classes: Sequence[ClassInfo]
+) -> List[Diagnostic]:
+    """Batched-ingestion pairing of ``insert`` / ``insert_many``."""
+    out = []
+    for info in classes:
+        own_many = "insert_many" in info.methods
+        own_insert = "insert" in info.methods
+        # Abstract classes (any own abstract method) can't be
+        # instantiated, so the pairing contract lands on their concrete
+        # descendants instead.
+        if own_many and not info.abstract_methods:
+            if not index.concrete_method(info, "insert"):
+                out.append(
+                    Diagnostic(
+                        info.path,
+                        info.methods["insert_many"],
+                        0,
+                        "R001",
+                        f"class '{info.name}' defines insert_many without a "
+                        f"concrete insert (batched ingestion must stay "
+                        f"replay-identical to a per-event path)",
+                    )
+                )
+        if (
+            own_insert
+            and "insert" not in info.abstract_methods
+            and index.descends_from(info, "StreamSummary")
+            and not index.override_below(info, "insert_many", "StreamSummary")
+        ):
+            out.append(
+                Diagnostic(
+                    info.path,
+                    info.methods["insert"],
+                    0,
+                    "R001",
+                    f"summary '{info.name}' overrides insert but inherits the "
+                    f"per-event insert_many fallback; add a batched override "
+                    f"(and a differential test pinning it replay-identical)",
+                )
+            )
+    return out
+
+
+def check(index: SymbolIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for path in index.paths:
+        out.extend(check_r001(index.classes, index.per_file_classes[path]))
+    return out

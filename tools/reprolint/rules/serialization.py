@@ -1,0 +1,87 @@
+"""R005 — versioned checkpoints: ``to_bytes``/``from_bytes`` pairs
+reference a shared module-level format-version constant (name containing
+``MAGIC``/``VERSION``/``FORMAT``) from both sides.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Set
+
+from tools.reprolint.diagnostics import Diagnostic
+from tools.reprolint.symbols import SymbolIndex
+
+RULE_ID = "R005"
+
+#: Module-level constant names accepted as checkpoint format versions.
+VERSION_CONST_RE = re.compile(r"(MAGIC|VERSION|FORMAT)")
+
+
+def _referenced_names(func: ast.FunctionDef) -> Set[str]:
+    return {
+        node.id for node in ast.walk(func) if isinstance(node, ast.Name)
+    }
+
+
+def check_r005(tree: ast.Module, path: str) -> List[Diagnostic]:
+    """to_bytes/from_bytes pairs share a format-version constant."""
+    constants = set()
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and VERSION_CONST_RE.search(target.id):
+                constants.add(target.id)
+
+    pairs: Dict[str, Dict[str, ast.FunctionDef]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name in (
+            "to_bytes",
+            "from_bytes",
+        ):
+            scope = ""
+            pairs.setdefault(scope, {})[node.name] = node
+    out = []
+    for scope, funcs in pairs.items():
+        if len(funcs) < 2:
+            continue
+        if not constants:
+            out.append(
+                Diagnostic(
+                    path,
+                    funcs["to_bytes"].lineno,
+                    funcs["to_bytes"].col_offset,
+                    "R005",
+                    "to_bytes/from_bytes pair without a module-level format-"
+                    "version constant (name containing MAGIC/VERSION/FORMAT); "
+                    "version the wire format so old images stay readable",
+                )
+            )
+            continue
+        shared = set.intersection(
+            *(_referenced_names(f) & constants for f in funcs.values())
+        )
+        if not shared:
+            out.append(
+                Diagnostic(
+                    path,
+                    funcs["to_bytes"].lineno,
+                    funcs["to_bytes"].col_offset,
+                    "R005",
+                    "to_bytes and from_bytes never reference a shared format-"
+                    "version constant; both sides must agree on the version "
+                    "they write/accept",
+                )
+            )
+    return out
+
+
+def check(index: SymbolIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for path in index.paths:
+        out.extend(check_r005(index.trees[path], path))
+    return out

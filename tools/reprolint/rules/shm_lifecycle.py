@@ -1,0 +1,321 @@
+"""R008 — shm lifecycle: create pairs with close/unlink on all paths.
+
+Shared-memory segments outlive the process that forgets them —
+``/dev/shm`` entries leak until reboot.  The transport's discipline
+(DESIGN §13) is parent-owned: the creator closes *and* unlinks in a
+``finally``; attach-side handles only ever close.  Statically:
+
+* A **creation** (``SharedMemory(create=True, ...)``, ``ShmRing(...)``
+  without ``name=``) must be released on every CFG path — including
+  exception edges — by a ``close()``/``destroy()``/``unlink()`` on the
+  bound handle, or have its ownership transferred safely:
+
+  - stored on ``self`` of a class that defines cleanup methods (the
+    ``ShmRing`` pattern itself);
+  - returned to the caller (``attach`` constructors);
+  - passed into another object / container **inside** a
+    ``try``/``finally`` — a transfer outside one means a failure
+    between create and the protected region leaks the segment (the
+    exact mid-constructor-loop bug class this rule exists for);
+  - an unbound creation (created directly inside another call or a
+    comprehension) must likewise sit inside a ``try``/``finally``.
+
+* An **attach** (``SharedMemory(name=...)``, ``ShmRing(..., name=...)``,
+  ``ShmRing.attach(...)``) bound to a local must never call
+  ``unlink()`` — removal belongs to the creator.
+
+Waiver: ``# reprolint: shm-owner — <why>`` on the creation, the line
+above, or the enclosing ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.reprolint.cfg import build_cfg, covered_by, node_covered
+from tools.reprolint.diagnostics import Diagnostic
+from tools.reprolint.symbols import FunctionInfo, SymbolIndex
+
+RULE_ID = "R008"
+TAG = "shm-owner"
+
+_CREATOR_CLEANUP = ("close", "destroy", "unlink")
+_SHM_NAMES = ("SharedMemory", "ShmRing")
+
+
+def _call_name(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _creation_kind(call: ast.Call) -> Optional[str]:
+    """Classify a call as shm ``"create"``/``"attach"``, else ``None``."""
+    name = _call_name(call)
+    if name == "SharedMemory":
+        for kw in call.keywords:
+            if (
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return "create"
+        # Default is create=False: attaching to an existing segment.
+        return "attach"
+    if name == "ShmRing":
+        if any(kw.arg == "name" for kw in call.keywords):
+            return "attach"
+        return "create"
+    if name == "attach" and isinstance(call.func, ast.Attribute):
+        base = call.func.value
+        if isinstance(base, ast.Name) and base.id in _SHM_NAMES:
+            return "attach"
+    return None
+
+
+class _StmtMap(ast.NodeVisitor):
+    """Enclosing statement and statement-ancestor chains for a function."""
+
+    def __init__(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        self.stmt_of_call: Dict[int, ast.stmt] = {}
+        self.ancestors: Dict[int, List[ast.stmt]] = {}
+        self._walk_body(fn.body, [])
+
+    def _walk_body(
+        self, body: List[ast.stmt], chain: List[ast.stmt]
+    ) -> None:
+        for stmt in body:
+            self.ancestors[id(stmt)] = list(chain)
+            self._map_exprs(stmt, stmt)
+            nested = chain + [stmt]
+            for field in ("body", "orelse", "finalbody"):
+                sub_body = getattr(stmt, field, None)
+                if sub_body:
+                    self._walk_body(sub_body, nested)
+            for handler in getattr(stmt, "handlers", []) or []:
+                self._walk_body(handler.body, nested)
+
+    def _map_exprs(self, node: ast.AST, stmt: ast.stmt) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                continue
+            if isinstance(child, ast.Call):
+                self.stmt_of_call[id(child)] = stmt
+            self._map_exprs(child, stmt)
+
+    def protected(self, stmt: ast.stmt) -> bool:
+        """Whether ``stmt`` sits inside a ``try`` with a ``finally``."""
+        return any(
+            isinstance(anc, ast.Try) and anc.finalbody
+            for anc in self.ancestors.get(id(stmt), [])
+        )
+
+
+def _class_has_cleanup(index: SymbolIndex, cls: Optional[str]) -> bool:
+    if cls is None:
+        return False
+    return any(
+        index.method_on(cls, name) is not None for name in _CREATOR_CLEANUP
+    )
+
+
+def _bound_local(stmt: ast.stmt, call: ast.Call) -> Optional[str]:
+    """The local name ``stmt`` binds the creation to, if it's a plain
+    ``v = <creation>`` (possibly through a conditional expression)."""
+    if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+        return None
+    target = stmt.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    value = stmt.value
+    candidates = [value]
+    if isinstance(value, ast.IfExp):
+        candidates = [value.body, value.orelse]
+    return target.id if any(c is call for c in candidates) else None
+
+
+def _self_attr_target(stmt: ast.stmt, call: ast.Call) -> bool:
+    if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+        return False
+    target = stmt.targets[0]
+    return (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+        and any(sub is call for sub in ast.walk(stmt.value))
+    )
+
+
+def _header_mentions(stmt: ast.stmt, name: str) -> bool:
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.stmt):
+            continue
+        for sub in ast.walk(child):
+            if isinstance(sub, ast.Name) and sub.id == name:
+                return True
+    return False
+
+
+def _is_cleanup_stmt(stmt: ast.stmt, name: str) -> bool:
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.stmt):
+            continue
+        for sub in ast.walk(child):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _CREATOR_CLEANUP
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == name
+            ):
+                return True
+    return False
+
+
+def _check_create_local(
+    fn: FunctionInfo,
+    stmt: ast.stmt,
+    name: str,
+    stmt_map: _StmtMap,
+) -> bool:
+    """Whether the locally-bound creation at ``stmt`` is released (or
+    safely handed off) on every path, exception edges included."""
+    cfg = build_cfg(fn.node, implicit_exceptions=True)
+    creation = cfg.node_for(stmt)
+    if creation is None:
+        return False
+    coverage: Set[int] = set()
+    for nid, node_stmt in cfg.stmts.items():
+        if node_stmt is stmt:
+            continue
+        if _is_cleanup_stmt(node_stmt, name):
+            coverage.add(nid)
+        elif isinstance(node_stmt, ast.Return) and _header_mentions(
+            node_stmt, name
+        ):
+            coverage.add(nid)  # ownership returned to the caller
+        elif _header_mentions(node_stmt, name) and stmt_map.protected(
+            node_stmt
+        ):
+            coverage.add(nid)  # handed off inside a try/finally
+    safe = covered_by(cfg, coverage, exc_safe=False)
+    return node_covered(cfg, creation, safe)
+
+
+def _unlink_sites(
+    fn: FunctionInfo, name: str
+) -> List[ast.Call]:
+    out = []
+    for sub in ast.walk(fn.node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "unlink"
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == name
+        ):
+            out.append(sub)
+    return out
+
+
+def check(index: SymbolIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for fn in index.functions.values():
+        sites: List[Tuple[ast.Call, str]] = []
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Call):
+                kind = _creation_kind(sub)
+                if kind is not None:
+                    sites.append((sub, kind))
+        if not sites:
+            continue
+        stmt_map = _StmtMap(fn.node)
+        waivers = index.waivers[fn.path]
+        owner = f"{fn.cls}.{fn.name}" if fn.cls else fn.name
+        for call, kind in sites:
+            stmt = stmt_map.stmt_of_call.get(id(call))
+            if stmt is None:
+                continue
+            waived, bare = waivers.lookup(
+                TAG,
+                (
+                    call.lineno,
+                    call.lineno - 1,
+                    fn.node.lineno,
+                    fn.node.lineno - 1,
+                ),
+            )
+            if waived:
+                continue
+            if bare is not None:
+                out.append(
+                    Diagnostic(
+                        fn.path,
+                        bare,
+                        0,
+                        RULE_ID,
+                        f"waiver '# reprolint: {TAG}' needs a justification "
+                        f"('# reprolint: {TAG} — <why>'); blanket "
+                        f"suppressions are not accepted",
+                    )
+                )
+                continue
+            if kind == "attach":
+                local = _bound_local(stmt, call)
+                if local is None:
+                    continue
+                for unlink in _unlink_sites(fn, local):
+                    out.append(
+                        Diagnostic(
+                            fn.path,
+                            unlink.lineno,
+                            unlink.col_offset,
+                            RULE_ID,
+                            f"attach-side shm handle '{local}' in '{owner}' "
+                            f"must not unlink the segment (removal belongs "
+                            f"to the creator; close() only)",
+                        )
+                    )
+                continue
+            # kind == "create"
+            if _self_attr_target(stmt, call):
+                if _class_has_cleanup(index, fn.cls):
+                    continue
+                out.append(
+                    Diagnostic(
+                        fn.path,
+                        call.lineno,
+                        call.col_offset,
+                        RULE_ID,
+                        f"shm segment created in '{owner}' is stored on an "
+                        f"instance with no close/destroy/unlink method; "
+                        f"give the owner a cleanup lifecycle",
+                    )
+                )
+                continue
+            local = _bound_local(stmt, call)
+            if local is not None:
+                if _check_create_local(fn, stmt, local, stmt_map):
+                    continue
+            elif isinstance(stmt, ast.Return) or stmt_map.protected(stmt):
+                # Returned directly (caller owns) or created inside a
+                # try/finally that can release it.
+                continue
+            out.append(
+                Diagnostic(
+                    fn.path,
+                    call.lineno,
+                    call.col_offset,
+                    RULE_ID,
+                    f"shm segment created in '{owner}' is not released on "
+                    f"every path (exception edges included); close/unlink "
+                    f"in a finally, or create it inside the try/finally "
+                    f"that owns cleanup — a failure between create and "
+                    f"the protected region leaks /dev/shm",
+                )
+            )
+    return out
